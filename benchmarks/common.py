@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks (E1-E15).
+
+Every benchmark prints the rows it reproduces (run pytest with ``-s`` to see
+them) and stores the same numbers in ``benchmark.extra_info`` so they survive
+in the pytest-benchmark JSON output.  The paper has no measurement tables —
+it is a theory paper — so each experiment measures the quantity bounded by
+one theorem/claim/figure and reports it next to the theorem's yardstick.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def print_table(title: str, header: list[str], rows: list[list[Any]]) -> None:
+    """Print a small fixed-width table (the benchmark's reproduced 'figure')."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def record(benchmark, **info: Any) -> None:
+    """Attach experiment outputs to the pytest-benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,52 @@
+"""Client-server spanner: provisioning backbone links for customer demands.
+
+In the client-server 2-spanner problem (paper Sections 1.5 and 4.3.3) the
+*client* edges are communication demands that must be served within two hops
+and the *server* edges are links the operator is allowed to provision.  This
+example provisions a random demand set over a metro network, compares the
+paper's distributed algorithm with the sequential greedy and the exact
+optimum, and shows the weighted variant picking cheap links.
+
+Run with:  python examples/client_server_provisioning.py
+"""
+
+from repro import (
+    WeightedVariant,
+    assign_random_weights,
+    client_server_two_spanner,
+    connected_gnp_graph,
+    is_client_server_2_spanner,
+    random_split_instance,
+    run_two_spanner,
+)
+from repro.baselines import greedy_client_server_two_spanner
+from repro.spanner import is_k_spanner, minimum_client_server_2_spanner_exact
+
+
+def main() -> None:
+    # --- client-server provisioning -------------------------------------
+    metro = connected_gnp_graph(16, 0.45, seed=11)
+    instance = random_split_instance(metro, client_fraction=0.7, server_fraction=0.7, seed=12)
+    print(f"metro network: n={metro.number_of_nodes()} m={metro.number_of_edges()}; "
+          f"{len(instance.clients)} demands, {len(instance.servers)} provisionable links")
+
+    distributed = client_server_two_spanner(instance, seed=1)
+    assert is_client_server_2_spanner(instance, distributed.edges)
+    greedy = greedy_client_server_two_spanner(instance)
+    exact = minimum_client_server_2_spanner_exact(instance)
+    print(f"links provisioned  -> distributed: {distributed.size}, "
+          f"greedy: {len(greedy)}, exact optimum: {len(exact)}")
+
+    # --- weighted variant: prefer cheap links ----------------------------
+    priced = connected_gnp_graph(18, 0.4, seed=13)
+    assign_random_weights(priced, 1, 9, seed=14, integer=True)
+    weighted = run_two_spanner(priced, variant=WeightedVariant(), seed=2)
+    assert is_k_spanner(priced, weighted.edges, 2)
+    total = sum(priced.weight(u, v) for u, v in priced.edges())
+    print(f"weighted 2-spanner: cost {weighted.cost(priced):.0f} of {total:.0f} total "
+          f"({weighted.size} of {priced.number_of_edges()} links), "
+          f"{weighted.iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

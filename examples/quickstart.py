@@ -1,0 +1,41 @@
+"""Quickstart: build a graph, run the distributed 2-spanner algorithm, verify it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    connected_gnp_graph,
+    greedy_two_spanner,
+    is_k_spanner,
+    run_two_spanner,
+)
+from repro.graphs import log_m_over_n
+from repro.spanner import lp_lower_bound_2spanner, stretch_of
+
+
+def main() -> None:
+    # A moderately dense random communication network.
+    graph = connected_gnp_graph(60, 0.25, seed=7)
+    print(f"graph: n={graph.number_of_nodes()} m={graph.number_of_edges()} "
+          f"max degree={graph.max_degree()}")
+
+    # Run the paper's distributed algorithm (Theorem 1.3) on the LOCAL simulator.
+    result = run_two_spanner(graph, seed=1)
+    assert is_k_spanner(graph, result.edges, 2), "output must be a 2-spanner"
+    print(f"distributed 2-spanner: {result.size} edges, "
+          f"{result.iterations} iterations, {result.rounds} simulated rounds")
+    print(f"achieved stretch: {stretch_of(graph, result.edges)}")
+
+    # Compare with the sequential greedy baseline it is designed to match ...
+    greedy = greedy_two_spanner(graph, method="peeling")
+    print(f"Kortsarz-Peleg greedy baseline: {len(greedy)} edges")
+
+    # ... and with an LP lower bound on the optimum.
+    lp = lp_lower_bound_2spanner(graph)
+    print(f"LP lower bound on OPT: {lp:.1f}  "
+          f"(ratio <= {result.size / lp:.2f}, paper bound is O(log m/n) with "
+          f"log2(m/n) = {log_m_over_n(graph):.2f})")
+
+
+if __name__ == "__main__":
+    main()

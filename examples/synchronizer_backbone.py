@@ -1,0 +1,53 @@
+"""Network-synchroniser backbone: spanners as sparse communication overlays.
+
+The paper's introduction motivates spanners with synchronisation and compact
+routing: replacing the full topology by a 2-spanner keeps every pair of
+original neighbours within two hops while maintaining far fewer links.  This
+example builds a clustered "data-centre" style topology, computes overlays
+with the paper's distributed algorithm and with Baswana-Sen sparse spanners,
+and reports the per-link maintenance saving versus the stretch actually paid.
+
+Run with:  python examples/synchronizer_backbone.py
+"""
+
+from repro import baswana_sen_spanner, run_two_spanner
+from repro.core import TwoSpannerOptions
+from repro.graphs import cluster_graph
+from repro.spanner import is_k_spanner, stretch_of
+
+
+def overlay_report(name: str, graph, edges) -> None:
+    saving = 100.0 * (1 - len(edges) / graph.number_of_edges())
+    print(f"{name:>28}: {len(edges):4d} links kept "
+          f"({saving:5.1f}% fewer than the full mesh), "
+          f"worst stretch {stretch_of(graph, edges):.0f}")
+
+
+def main() -> None:
+    # 6 racks of 10 machines: dense inside a rack, sparse between racks.
+    graph = cluster_graph(n_clusters=6, cluster_size=10, p_intra=0.8, p_inter=0.03, seed=3)
+    print(f"topology: n={graph.number_of_nodes()} machines, "
+          f"m={graph.number_of_edges()} links, max degree={graph.max_degree()}")
+
+    # The paper's distributed minimum 2-spanner approximation: each machine
+    # decides which of its incident links to keep after O(log n log Delta)
+    # LOCAL rounds; neighbours stay within 2 hops.
+    result = run_two_spanner(graph, seed=1, options=TwoSpannerOptions(densest_method="peeling"))
+    assert is_k_spanner(graph, result.edges, 2)
+    overlay_report("minimum 2-spanner (paper)", graph, result.edges)
+    print(f"{'':>30}{result.iterations} iterations, {result.rounds} simulated rounds")
+
+    # Worst-case-sparsity alternative: Baswana-Sen (2k-1)-spanners trade
+    # stretch for sparsity but give no guarantee relative to the *minimum*.
+    for k in (2, 3):
+        spanner = baswana_sen_spanner(graph, k=k, seed=k)
+        assert is_k_spanner(graph, spanner, 2 * k - 1)
+        overlay_report(f"Baswana-Sen stretch {2 * k - 1}", graph, spanner)
+
+    # The trivial overlay: keep everything (the n-approximation of the paper's
+    # lower-bound discussion).
+    overlay_report("full mesh", graph, graph.edge_set())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: metadata lives in pyproject.toml; this file enables legacy editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""repro: reproduction of "Distributed Spanner Approximation" (PODC 2018).
+
+The package implements, on top of a synchronous LOCAL / CONGEST round
+simulator:
+
+* the paper's distributed minimum 2-spanner approximation with a guaranteed
+  O(log m/n) ratio (Theorem 1.3) and its directed, weighted and client-server
+  variants (Section 4.3);
+* the guaranteed O(log Delta) minimum dominating set algorithm (Section 5);
+* the (1+eps)-approximate minimum k-spanner LOCAL algorithm (Section 6);
+* the hardness-of-approximation constructions of Sections 2-3 (Figures 1-3)
+  together with a two-party (Alice/Bob) simulation harness measuring the
+  communication the reductions charge;
+* the baselines the paper compares against (Kortsarz-Peleg greedy,
+  Baswana-Sen sparse spanners, greedy / expectation-only MDS, trivial
+  n-approximation).
+
+Quickstart::
+
+    from repro import connected_gnp_graph, run_two_spanner, is_k_spanner
+
+    graph = connected_gnp_graph(60, 0.2, seed=7)
+    result = run_two_spanner(graph, seed=1)
+    assert is_k_spanner(graph, result.edges, 2)
+    print(result.size, result.rounds)
+"""
+
+from repro.baselines import (
+    baswana_sen_spanner,
+    exact_dominating_set,
+    expectation_randomized_mds,
+    greedy_dominating_set,
+    greedy_two_spanner,
+    take_all_spanner,
+)
+from repro.core import (
+    ClientServerVariant,
+    MDSOptions,
+    TwoSpannerOptions,
+    UnweightedVariant,
+    WeightedVariant,
+    client_server_two_spanner,
+    network_decomposition,
+    one_plus_eps_spanner,
+    run_directed_two_spanner,
+    run_mds,
+    run_two_spanner,
+)
+from repro.distributed import (
+    NodeContext,
+    NodeProgram,
+    Simulator,
+    congest_model,
+    local_model,
+    run_program,
+)
+from repro.graphs import (
+    ClientServerInstance,
+    DiGraph,
+    Graph,
+    assign_random_weights,
+    barabasi_albert_graph,
+    cluster_graph,
+    complete_bipartite_graph,
+    connected_gnp_graph,
+    gnp_random_graph,
+    random_digraph,
+    random_split_instance,
+)
+from repro.lowerbounds import (
+    build_construction_g,
+    build_construction_gw,
+    build_mvc_reduction,
+    random_disjoint_instance,
+    random_intersecting_instance,
+    simulate_reduction,
+)
+from repro.spanner import (
+    is_client_server_2_spanner,
+    is_k_spanner,
+    is_k_spanner_directed,
+    lp_lower_bound_2spanner,
+    minimum_k_spanner_exact,
+    spanner_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientServerInstance",
+    "ClientServerVariant",
+    "DiGraph",
+    "Graph",
+    "MDSOptions",
+    "NodeContext",
+    "NodeProgram",
+    "Simulator",
+    "TwoSpannerOptions",
+    "UnweightedVariant",
+    "WeightedVariant",
+    "__version__",
+    "assign_random_weights",
+    "barabasi_albert_graph",
+    "baswana_sen_spanner",
+    "build_construction_g",
+    "build_construction_gw",
+    "build_mvc_reduction",
+    "client_server_two_spanner",
+    "cluster_graph",
+    "complete_bipartite_graph",
+    "congest_model",
+    "connected_gnp_graph",
+    "exact_dominating_set",
+    "expectation_randomized_mds",
+    "gnp_random_graph",
+    "greedy_dominating_set",
+    "greedy_two_spanner",
+    "is_client_server_2_spanner",
+    "is_k_spanner",
+    "is_k_spanner_directed",
+    "local_model",
+    "lp_lower_bound_2spanner",
+    "minimum_k_spanner_exact",
+    "network_decomposition",
+    "one_plus_eps_spanner",
+    "random_digraph",
+    "random_disjoint_instance",
+    "random_intersecting_instance",
+    "random_split_instance",
+    "run_directed_two_spanner",
+    "run_mds",
+    "run_program",
+    "run_two_spanner",
+    "simulate_reduction",
+    "spanner_cost",
+    "take_all_spanner",
+]

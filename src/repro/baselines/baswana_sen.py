@@ -1,0 +1,123 @@
+"""Baswana-Sen randomised (2k-1)-spanner with O(k * n^{1+1/k}) expected edges.
+
+The paper repeatedly contrasts its hardness results with the *undirected*
+CONGEST world, where a k-round construction of (2k-1)-spanners with
+O(n^{1+1/k}) edges exists and immediately yields an O(n^{1/k})-approximation
+of the minimum (2k-1)-spanner (any spanner of a connected graph has at least
+n-1 edges).  Experiment E13 measures that implied ratio.
+
+The algorithm is the classical clustering construction: k-1 sampling phases
+where cluster centres survive with probability n^{-1/k}, followed by a final
+phase joining every vertex to each adjacent cluster.  The distributed version
+runs in O(k) rounds; this implementation is the standard centralised
+transcription of those rounds (per-vertex decisions only).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.graph import Edge, Graph, Node, edge_key
+
+
+def baswana_sen_spanner(
+    graph: Graph, k: int, seed: int | None = None
+) -> set[Edge]:
+    """A (2k-1)-spanner with O(k n^{1+1/k}) edges in expectation.
+
+    Weights are respected in the sense of the weighted Baswana-Sen variant:
+    whenever one representative edge towards a cluster is kept, the lightest
+    such edge is chosen.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    rng = random.Random(seed)
+    n = max(2, graph.number_of_nodes())
+    sample_p = n ** (-1.0 / k)
+
+    spanner: set[Edge] = set()
+    # cluster_of[v] = centre of the cluster containing v (None = vertex discarded)
+    cluster_of: dict[Node, Node | None] = {v: v for v in graph.nodes()}
+
+    def lightest_edge_to(v: Node, members: set[Node]) -> Edge | None:
+        best: Edge | None = None
+        best_w = float("inf")
+        for u in sorted(graph.neighbors(v) & members, key=repr):
+            w = graph.weight(v, u)
+            if w < best_w:
+                best, best_w = edge_key(v, u), w
+        return best
+
+    for _phase in range(k - 1):
+        centres = {c for c in set(cluster_of.values()) if c is not None}
+        sampled = {c for c in centres if rng.random() < sample_p}
+        new_cluster: dict[Node, Node | None] = {}
+        for v in graph.nodes():
+            current = cluster_of[v]
+            if current is None:
+                new_cluster[v] = None
+                continue
+            if current in sampled:
+                new_cluster[v] = current
+                continue
+            # Group the neighbours of v by their current cluster.
+            nbr_clusters: dict[Node, set[Node]] = {}
+            for u in graph.neighbors(v):
+                c = cluster_of[u]
+                if c is not None:
+                    nbr_clusters.setdefault(c, set()).add(u)
+            adjacent_sampled = sorted(
+                (c for c in nbr_clusters if c in sampled), key=repr
+            )
+            if adjacent_sampled:
+                # Join the sampled cluster reachable by the lightest edge.
+                best_c = None
+                best_edge = None
+                best_w = float("inf")
+                for c in adjacent_sampled:
+                    e = lightest_edge_to(v, nbr_clusters[c])
+                    if e is not None and graph.weight(*e) < best_w:
+                        best_c, best_edge, best_w = c, e, graph.weight(*e)
+                assert best_edge is not None and best_c is not None
+                spanner.add(best_edge)
+                new_cluster[v] = best_c
+            else:
+                # No adjacent sampled cluster: keep one edge per adjacent cluster
+                # and leave the clustering process.
+                for c in sorted(nbr_clusters, key=repr):
+                    e = lightest_edge_to(v, nbr_clusters[c])
+                    if e is not None:
+                        spanner.add(e)
+                new_cluster[v] = None
+        cluster_of = new_cluster
+
+    # Final phase: every surviving vertex connects to each adjacent cluster.
+    for v in graph.nodes():
+        nbr_clusters: dict[Node, set[Node]] = {}
+        for u in graph.neighbors(v):
+            c = cluster_of[u]
+            if c is not None:
+                nbr_clusters.setdefault(c, set()).add(u)
+        for c in sorted(nbr_clusters, key=repr):
+            if cluster_of[v] is not None and c == cluster_of[v]:
+                continue
+            e = lightest_edge_to(v, nbr_clusters[c])
+            if e is not None:
+                spanner.add(e)
+
+    # Intra-cluster edges towards the centre (the clustering keeps a BFS-star
+    # towards each centre: the edge used when joining was already added in the
+    # sampling phases; the initial singleton clusters need nothing).
+    return spanner
+
+
+def implied_approximation_ratio(graph: Graph, spanner_size: int) -> float:
+    """Spanner size divided by the n-1 lower bound: an upper bound on the
+    approximation ratio of using the sparse spanner as a minimum-spanner proxy."""
+    lower = max(1, graph.number_of_nodes() - 1)
+    return spanner_size / lower
+
+
+def expected_size_bound(n: int, k: int) -> float:
+    """The O(k * n^{1+1/k}) expected-size yardstick used by experiment E13."""
+    return k * n ** (1.0 + 1.0 / k)

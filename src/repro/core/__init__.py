@@ -1,0 +1,56 @@
+"""The paper's algorithmic contributions (Sections 4-6)."""
+
+from repro.core.directed_two_spanner import (
+    DirectedTwoSpannerResult,
+    run_directed_two_spanner,
+)
+from repro.core.mds import MDSOptions, MDSResult, run_mds
+from repro.core.network_decomposition import (
+    Decomposition,
+    decomposition_round_bound,
+    network_decomposition,
+)
+from repro.core.one_plus_eps import (
+    OnePlusEpsResult,
+    one_plus_eps_spanner,
+    radius_budget,
+)
+from repro.core.star_selection import StarSelectionState, choose_candidate_star
+from repro.core.two_spanner import (
+    TwoSpannerOptions,
+    TwoSpannerResult,
+    client_server_two_spanner,
+    run_two_spanner,
+)
+from repro.core.variants import (
+    ClientServerVariant,
+    NodeSetup,
+    SpannerVariant,
+    UnweightedVariant,
+    WeightedVariant,
+)
+
+__all__ = [
+    "ClientServerVariant",
+    "Decomposition",
+    "DirectedTwoSpannerResult",
+    "MDSOptions",
+    "MDSResult",
+    "NodeSetup",
+    "OnePlusEpsResult",
+    "SpannerVariant",
+    "StarSelectionState",
+    "TwoSpannerOptions",
+    "TwoSpannerResult",
+    "UnweightedVariant",
+    "WeightedVariant",
+    "choose_candidate_star",
+    "client_server_two_spanner",
+    "decomposition_round_bound",
+    "network_decomposition",
+    "one_plus_eps_spanner",
+    "radius_budget",
+    "run_directed_two_spanner",
+    "run_mds",
+    "run_two_spanner",
+]

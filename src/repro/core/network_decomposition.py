@@ -1,0 +1,145 @@
+"""Randomised low-diameter network decomposition (Linial & Saks, 1993).
+
+The (1+eps)-approximation algorithm of Section 6 invokes a network
+decomposition on the power graph G^r: a partition of the vertices into
+clusters of weak diameter O(log n), coloured with O(log n) colours such that
+two adjacent vertices whose clusters differ have clusters of different
+colours.  Clusters of the same colour can therefore act in parallel without
+coordination.
+
+This module computes the decomposition centrally (one ball-carving phase per
+colour, exactly the Linial-Saks process); the distributed cost of the
+original algorithm is O(log^2 n) rounds, which
+:func:`decomposition_round_bound` reports so that the (1+eps) driver can
+account for it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass
+class Decomposition:
+    """A (colour, cluster) assignment for every vertex."""
+
+    color_of: dict[Node, int]
+    cluster_of: dict[Node, Node]  # cluster identified by its centre vertex
+    num_colors: int
+    max_cluster_diameter: int
+
+    def clusters(self) -> dict[Node, set[Node]]:
+        """Mapping cluster centre -> member vertices."""
+        result: dict[Node, set[Node]] = {}
+        for v, centre in self.cluster_of.items():
+            result.setdefault(centre, set()).add(v)
+        return result
+
+    def same_color_clusters_nonadjacent(self, graph: Graph) -> bool:
+        """The decomposition's defining property, checked against ``graph``."""
+        for u in graph.nodes():
+            for w in graph.neighbors(u):
+                if (
+                    self.color_of[u] == self.color_of[w]
+                    and self.cluster_of[u] != self.cluster_of[w]
+                ):
+                    return False
+        return True
+
+
+def _truncated_geometric(rng: random.Random, p: float, cap: int) -> int:
+    """Sample min(Geometric(p), cap) with support starting at 0."""
+    value = 0
+    while value < cap and rng.random() > p:
+        value += 1
+    return value
+
+
+def network_decomposition(
+    graph: Graph, seed: int | None = None, base: float = 2.0
+) -> Decomposition:
+    """Linial-Saks style ball carving: O(log n) colours, O(log n) weak diameter w.h.p.
+
+    Colour classes are built one at a time.  In each phase every still
+    unclustered vertex draws a truncated geometric radius and "bids" for all
+    unclustered vertices within that distance; every unclustered vertex joins
+    the highest-identifier bidder that reaches it, and becomes *finished* (gets
+    the phase's colour) if it lies strictly inside that bidder's ball.
+    Border vertices stay for later phases.
+    """
+    nodes = graph.nodes()
+    n = max(2, len(nodes))
+    rng = random.Random(seed)
+    cap = max(1, int(math.ceil(base * math.log2(n))))
+    p = 1.0 / (base * max(1.0, math.log2(n)))
+
+    unclustered = set(nodes)
+    color_of: dict[Node, int] = {}
+    cluster_of: dict[Node, Node] = {}
+    color = 0
+    max_diameter = 0
+    # The expected number of phases is O(log n); the hard cap below only
+    # guards against pathological randomness.
+    max_phases = 8 * cap + 8
+
+    while unclustered and color < max_phases:
+        radii = {v: _truncated_geometric(rng, p, cap) for v in unclustered}
+        # Distances restricted to the unclustered subgraph keep clusters connected
+        # within the still-active part of the graph.
+        sub = graph.subgraph(unclustered)
+        assignment: dict[Node, tuple[Node, int]] = {}
+        for centre in sorted(unclustered, key=repr):
+            dist = sub.bfs_distances(centre, max_depth=radii[centre])
+            for v, d in dist.items():
+                best = assignment.get(v)
+                if best is None or repr(centre) > repr(best[0]):
+                    assignment[v] = (centre, d)
+        finished: dict[Node, Node] = {}
+        for v, (centre, d) in assignment.items():
+            # Only *interior* vertices of the winning ball finish this phase;
+            # border vertices (d == radius) stay unclustered.  This is what
+            # guarantees that same-colour clusters are non-adjacent.
+            if d < radii[centre]:
+                finished[v] = centre
+        if not finished:
+            # Nobody finished this phase (can happen when all radii are 0 and
+            # bids collide); retry the phase with fresh randomness.
+            color += 1
+            continue
+        for v, centre in finished.items():
+            color_of[v] = color
+            cluster_of[v] = centre
+        # Track the largest cluster (weak) diameter for reporting.
+        for centre in set(finished.values()):
+            members = {v for v, c in finished.items() if c == centre}
+            ecc = 0
+            dist = graph.bfs_distances(centre)
+            for v in members:
+                ecc = max(ecc, dist.get(v, 0))
+            max_diameter = max(max_diameter, 2 * ecc)
+        unclustered -= set(finished)
+        color += 1
+
+    # Any stragglers become singleton clusters with fresh colours.
+    for v in sorted(unclustered, key=repr):
+        color_of[v] = color
+        cluster_of[v] = v
+        color += 1
+
+    return Decomposition(
+        color_of=color_of,
+        cluster_of=cluster_of,
+        num_colors=color,
+        max_cluster_diameter=max_diameter,
+    )
+
+
+def decomposition_round_bound(n: int) -> int:
+    """The O(log^2 n) round cost of the distributed Linial-Saks algorithm."""
+    if n < 2:
+        return 1
+    return int(math.ceil(math.log2(n)) ** 2)

@@ -1,0 +1,164 @@
+"""(1 + eps)-approximate minimum k-spanner in the LOCAL model (paper Section 6).
+
+Theorem 1.2: a randomised poly(log n / eps)-round LOCAL algorithm computing a
+(1+eps)-approximation of the minimum k-spanner, assuming unbounded local
+computation.  The algorithm:
+
+1. sets ``r = O(log n / eps)`` (large enough that every ball the sequential
+   process touches fits in an r-neighbourhood),
+2. computes a Linial-Saks network decomposition of the power graph ``G^r``
+   (O(log n) colours, O(log n)-diameter clusters),
+3. processes vertices in increasing (cluster colour, identifier) order; each
+   vertex finds the smallest radius ``r_i`` with
+   ``g(v, r_i + 2k) <= (1+eps) * g(v, r_i)`` (``g`` = optimal spanner size for
+   the uncovered edges of the ball) and adds an optimal spanner for the
+   uncovered edges of ``B_{r_i+2k}(v)``.
+
+Vertices of the same colour act in parallel because their balls are disjoint
+(their clusters are non-adjacent in G^r); the execution below emulates the
+LOCAL algorithm at cluster granularity and reports the round cost of the real
+distributed execution through :func:`round_complexity_estimate`.  Local
+computation uses the exact branch-and-bound solver, which is exponential —
+exactly the unbounded-local-computation assumption of the theorem — so only
+small graphs are practical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.network_decomposition import (
+    Decomposition,
+    decomposition_round_bound,
+    network_decomposition,
+)
+from repro.graphs.graph import Edge, Graph, Node
+from repro.graphs.properties import power_graph
+from repro.spanner.optimal import minimum_k_spanner_exact
+from repro.spanner.verify import uncovered_edges
+
+
+@dataclass
+class OnePlusEpsResult:
+    """Spanner produced by the (1+eps) algorithm plus accounting details."""
+
+    edges: set[Edge]
+    epsilon: float
+    k: int
+    r: int
+    decomposition: Decomposition
+    rounds_estimate: int
+    ball_radii: dict[Node, int]
+    node_outputs: dict[Node, Any] | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)
+
+
+def radius_budget(n: int, epsilon: float, k: int) -> int:
+    """The maximum radius the sequential process can reach, r_i = O(log n / eps).
+
+    The optimal spanner has at most n^2 edges and each unsuccessful radius
+    increase multiplies g by more than (1+eps), so r_i <= log_{1+eps}(n^2).
+    """
+    n = max(2, n)
+    steps = math.log(n * n) / math.log1p(epsilon)
+    return int(math.ceil(steps)) + 1
+
+
+def one_plus_eps_spanner(
+    graph: Graph,
+    k: int = 2,
+    epsilon: float = 0.5,
+    seed: int | None = None,
+    use_weights: bool = False,
+) -> OnePlusEpsResult:
+    """Run the Section 6 algorithm and return the constructed k-spanner.
+
+    ``use_weights`` switches the local optima to minimise edge weight instead
+    of cardinality (the paper notes the framework extends to the weighted
+    case with complexity poly(log(nW)/eps)).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    n = graph.number_of_nodes()
+    max_radius = radius_budget(n, epsilon, k)
+    r = max_radius + 4 * k + 1
+    power = power_graph(graph, r) if n > 1 else graph
+    decomposition = network_decomposition(power, seed=seed)
+
+    order = sorted(graph.nodes(), key=lambda v: (decomposition.color_of[v], repr(v)))
+
+    spanner: set[Edge] = set()
+    covered: set[Edge] = set()
+    all_edges = set(graph.edges())
+    ball_radii: dict[Node, int] = {}
+
+    def optimum_for(targets: set[Edge], around: Node, radius: int) -> set[Edge]:
+        """Optimal spanner of ``targets``; the spanner may use any graph edge,
+        but every useful edge lies within ``radius + k`` of ``around``."""
+        if not targets:
+            return set()
+        region = graph.subgraph(graph.ball(around, radius + k))
+        return minimum_k_spanner_exact(region, k=k, targets=targets, use_weights=use_weights)
+
+    def cost_of(edges: set[Edge]) -> float:
+        if use_weights:
+            return sum(graph.weight(u, v) for u, v in edges)
+        return float(len(edges))
+
+    for v in order:
+        # Smallest radius r_i with g(v, r_i + 2k) <= (1+eps) * g(v, r_i).
+        radius = 0
+        while True:
+            inner_targets = _uncovered_in_ball(graph, v, radius, all_edges, covered)
+            outer_targets = _uncovered_in_ball(graph, v, radius + 2 * k, all_edges, covered)
+            inner_opt = optimum_for(inner_targets, v, radius)
+            outer_opt = optimum_for(outer_targets, v, radius + 2 * k)
+            if cost_of(outer_opt) <= (1 + epsilon) * cost_of(inner_opt) or radius > max_radius:
+                ball_radii[v] = radius
+                spanner |= outer_opt
+                covered |= outer_targets
+                # Edges newly covered by the added spanner edges elsewhere.
+                covered |= all_edges - uncovered_edges(graph, spanner, k)
+                break
+            radius += 1
+
+    rounds = round_complexity_estimate(n, r, decomposition)
+    return OnePlusEpsResult(
+        edges=spanner,
+        epsilon=epsilon,
+        k=k,
+        r=r,
+        decomposition=decomposition,
+        rounds_estimate=rounds,
+        ball_radii=ball_radii,
+    )
+
+
+def _uncovered_in_ball(
+    graph: Graph, v: Node, radius: int, all_edges: set[Edge], covered: set[Edge]
+) -> set[Edge]:
+    """Uncovered edges with both endpoints within distance ``radius`` of ``v``."""
+    if radius == 0:
+        return set()
+    ball = graph.ball(v, radius)
+    return {e for e in all_edges if e not in covered and e[0] in ball and e[1] in ball}
+
+
+def round_complexity_estimate(n: int, r: int, decomposition: Decomposition) -> int:
+    """Round cost of the genuine LOCAL execution this module emulates.
+
+    Decomposition of G^r costs ``O(log^2 n)`` rounds of G^r, i.e. times r in
+    G; afterwards each colour class costs O(cluster diameter * r) rounds for
+    information gathering.  All terms are poly(log n / eps), matching
+    Theorem 1.2.
+    """
+    gather = (decomposition.max_cluster_diameter + 2) * r
+    return decomposition_round_bound(n) * r + decomposition.num_colors * gather

@@ -1,0 +1,40 @@
+"""Synchronous LOCAL / CONGEST round simulator and message accounting."""
+
+from repro.distributed.encoding import congest_budget_bits, estimate_bits
+from repro.distributed.errors import (
+    BandwidthExceededError,
+    NotANeighborError,
+    RoundLimitExceededError,
+    SimulationError,
+)
+from repro.distributed.metrics import Metrics
+from repro.distributed.models import Model, ModelConfig, congest_model, local_model
+from repro.distributed.node import NodeContext
+from repro.distributed.program import FunctionProgram, NodeProgram
+from repro.distributed.simulator import (
+    RunResult,
+    Simulator,
+    congest_overhead_report,
+    run_program,
+)
+
+__all__ = [
+    "BandwidthExceededError",
+    "FunctionProgram",
+    "Metrics",
+    "Model",
+    "ModelConfig",
+    "NodeContext",
+    "NodeProgram",
+    "NotANeighborError",
+    "RoundLimitExceededError",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "congest_budget_bits",
+    "congest_model",
+    "congest_overhead_report",
+    "estimate_bits",
+    "local_model",
+    "run_program",
+]

@@ -1,0 +1,19 @@
+"""Exceptions raised by the distributed round simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class NotANeighborError(SimulationError):
+    """A node tried to send a message to a vertex that is not adjacent to it."""
+
+
+class BandwidthExceededError(SimulationError):
+    """A message exceeded the CONGEST per-edge per-round bandwidth budget."""
+
+
+class RoundLimitExceededError(SimulationError):
+    """The simulation did not terminate within the configured round limit."""

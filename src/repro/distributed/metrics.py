@@ -1,0 +1,50 @@
+"""Communication metrics collected by the round simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Aggregate communication statistics for one simulation run.
+
+    ``cut_bits`` is only populated when the simulator is asked to track a
+    vertex cut (used by the two-party lower-bound reductions of Sections 2-3,
+    where Alice and Bob must exchange every bit that crosses the cut).
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    bits_sent: int = 0
+    max_message_bits: int = 0
+    bandwidth_violations: int = 0
+    cut_messages: int = 0
+    cut_bits: int = 0
+    bits_per_round: list[int] = field(default_factory=list)
+
+    def record_message(self, bits: int, crosses_cut: bool) -> None:
+        self.messages_sent += 1
+        self.bits_sent += bits
+        self.max_message_bits = max(self.max_message_bits, bits)
+        if self.bits_per_round:
+            self.bits_per_round[-1] += bits
+        if crosses_cut:
+            self.cut_messages += 1
+            self.cut_bits += bits
+
+    def start_round(self) -> None:
+        self.rounds += 1
+        self.bits_per_round.append(0)
+
+    def summary(self) -> dict[str, int]:
+        """A flat dictionary convenient for benchmark reporting."""
+        return {
+            "rounds": self.rounds,
+            "messages_sent": self.messages_sent,
+            "bits_sent": self.bits_sent,
+            "max_message_bits": self.max_message_bits,
+            "bandwidth_violations": self.bandwidth_violations,
+            "cut_messages": self.cut_messages,
+            "cut_bits": self.cut_bits,
+        }

@@ -1,0 +1,54 @@
+"""Synchronous message-passing models: LOCAL and CONGEST.
+
+Both models (Linial 1992; Peleg 2000) proceed in synchronous rounds in which
+every vertex may send one message to each neighbour.  They differ only in
+message size: LOCAL allows unbounded messages, CONGEST allows O(log n) bits
+per edge per round.  The paper's separation results (Theorems 1.1, 2.8-2.10)
+are precisely about this difference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.distributed.encoding import congest_budget_bits
+
+
+class Model(enum.Enum):
+    """The two standard synchronous models of distributed graph algorithms."""
+
+    LOCAL = "LOCAL"
+    CONGEST = "CONGEST"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Bandwidth policy derived from the model and the network size.
+
+    ``enforce`` controls what happens when a message exceeds the CONGEST
+    budget: if True the simulator raises
+    :class:`~repro.distributed.errors.BandwidthExceededError`; if False the
+    violation is only recorded in the metrics (useful when measuring the
+    overhead a LOCAL algorithm would incur in CONGEST).
+    """
+
+    model: Model
+    n: int
+    enforce: bool = True
+    logn_factor: int = 32
+
+    @property
+    def bandwidth_bits(self) -> int | None:
+        """Per-edge per-round bit budget; ``None`` means unbounded (LOCAL)."""
+        if self.model is Model.LOCAL:
+            return None
+        return congest_budget_bits(self.n, self.logn_factor)
+
+
+def local_model(n: int) -> ModelConfig:
+    return ModelConfig(model=Model.LOCAL, n=n)
+
+
+def congest_model(n: int, enforce: bool = True, logn_factor: int = 32) -> ModelConfig:
+    return ModelConfig(model=Model.CONGEST, n=n, enforce=enforce, logn_factor=logn_factor)

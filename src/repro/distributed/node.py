@@ -1,0 +1,66 @@
+"""Per-node execution context handed to node programs by the simulator."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+from typing import Any
+
+from repro.distributed.errors import NotANeighborError
+
+Node = Hashable
+
+
+class NodeContext:
+    """Everything a vertex may legitimately use in the LOCAL / CONGEST models.
+
+    A node initially knows: its own identifier, the identifiers of its
+    neighbours, the number of vertices ``n`` (the standard polynomial upper
+    bound assumption), and a private source of randomness.  All other
+    knowledge must arrive through messages.
+    """
+
+    def __init__(
+        self,
+        node_id: Node,
+        neighbors: frozenset[Node],
+        n: int,
+        rng: random.Random,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.n = n
+        self.rng = rng
+        self.round = 0
+        self.halted = False
+        self.output: Any = None
+        self._outbox: list[tuple[Node, Any]] = []
+
+    # ------------------------------------------------------------------ sends
+    def send(self, dst: Node, payload: Any) -> None:
+        """Queue ``payload`` for delivery to neighbour ``dst`` next round."""
+        if dst not in self.neighbors:
+            raise NotANeighborError(
+                f"node {self.node_id!r} tried to message non-neighbour {dst!r}"
+            )
+        self._outbox.append((dst, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue ``payload`` for every neighbour."""
+        for dst in self.neighbors:
+            self._outbox.append((dst, payload))
+
+    # ----------------------------------------------------------------- control
+    def set_output(self, value: Any) -> None:
+        """Record this node's output (its share of the global solution)."""
+        self.output = value
+
+    def halt(self) -> None:
+        """Stop participating; the node neither sends nor receives afterwards."""
+        self.halted = True
+
+    # --------------------------------------------------------------- internals
+    def _drain_outbox(self) -> list[tuple[Node, Any]]:
+        out = self._outbox
+        self._outbox = []
+        return out

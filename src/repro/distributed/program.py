@@ -1,0 +1,53 @@
+"""The node-program interface executed by the simulator."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable
+from typing import Any
+
+from repro.distributed.node import NodeContext
+
+Node = Hashable
+Inbox = dict[Node, list[Any]]
+
+
+class NodeProgram(ABC):
+    """A distributed algorithm from the point of view of a single vertex.
+
+    One instance is created per vertex.  ``on_start`` runs before any
+    communication (it may already queue messages); ``on_round`` runs once per
+    synchronous round with the messages received from each neighbour.  A node
+    finishes by calling ``ctx.set_output(...)`` and ``ctx.halt()``.
+    """
+
+    @abstractmethod
+    def on_start(self, ctx: NodeContext) -> None:
+        """Initialise local state; may queue messages for round 1."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        """Process one synchronous round.
+
+        ``inbox`` maps each neighbour to the list of payloads it sent this
+        round (empty lists are omitted).
+        """
+
+
+class FunctionProgram(NodeProgram):
+    """Adapter turning plain functions into a :class:`NodeProgram`.
+
+    Useful for tests and tiny algorithms::
+
+        prog = lambda: FunctionProgram(on_start=..., on_round=...)
+    """
+
+    def __init__(self, on_start, on_round) -> None:
+        self._on_start = on_start
+        self._on_round = on_round
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._on_start(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        self._on_round(ctx, inbox)

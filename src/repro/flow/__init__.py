@@ -1,0 +1,18 @@
+"""Max-flow and densest-subgraph primitives used by the star computations."""
+
+from repro.flow.densest import (
+    densest_subgraph,
+    densest_subgraph_exact,
+    densest_subgraph_peeling,
+    subgraph_density,
+)
+from repro.flow.dinic import MaxFlowNetwork, max_flow_min_cut
+
+__all__ = [
+    "MaxFlowNetwork",
+    "densest_subgraph",
+    "densest_subgraph_exact",
+    "densest_subgraph_peeling",
+    "max_flow_min_cut",
+    "subgraph_density",
+]

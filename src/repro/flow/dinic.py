@@ -1,0 +1,141 @@
+"""Dinic's maximum-flow algorithm over arbitrary hashable node labels.
+
+Capacities may be ``int``, ``float`` or :class:`fractions.Fraction`; the
+densest-subgraph solver uses exact ``Fraction`` capacities so that star
+densities (which are rationals) are computed without rounding error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+from fractions import Fraction
+
+Node = Hashable
+
+Number = int | float | Fraction
+
+
+class MaxFlowNetwork:
+    """A flow network with a residual-graph representation for Dinic's algorithm."""
+
+    def __init__(self) -> None:
+        self._index: dict[Node, int] = {}
+        self._labels: list[Node] = []
+        # adjacency: node index -> list of edge ids
+        self._adj: list[list[int]] = []
+        # edges stored flat: to-node, capacity, and the id of the reverse edge
+        self._to: list[int] = []
+        self._cap: list[Number] = []
+        self._rev: list[int] = []
+
+    def _node(self, label: Node) -> int:
+        if label not in self._index:
+            self._index[label] = len(self._labels)
+            self._labels.append(label)
+            self._adj.append([])
+        return self._index[label]
+
+    def add_node(self, label: Node) -> None:
+        self._node(label)
+
+    def add_edge(self, u: Node, v: Node, capacity: Number) -> None:
+        """Add a directed edge u -> v with the given capacity (residual cap 0 back)."""
+        if capacity < 0:
+            raise ValueError("capacities must be non-negative")
+        ui, vi = self._node(u), self._node(v)
+        self._adj[ui].append(len(self._to))
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._rev.append(len(self._to))
+        self._adj[vi].append(len(self._to))
+        self._to.append(ui)
+        self._cap.append(0 if isinstance(capacity, int) else type(capacity)(0))
+        self._rev.append(len(self._to) - 2)
+
+    # ------------------------------------------------------------------- flow
+    def max_flow(self, source: Node, sink: Node) -> Number:
+        """Compute the maximum s-t flow value (the network keeps the residual state)."""
+        s, t = self._node(source), self._node(sink)
+        if s == t:
+            raise ValueError("source and sink must differ")
+        flow: Number = 0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level[t] < 0:
+                return flow
+            it = [0] * len(self._adj)
+            while True:
+                pushed = self._dfs_push(s, t, None, level, it)
+                if pushed is None:
+                    break
+                flow = flow + pushed
+
+    def min_cut_source_side(self, source: Node) -> set[Node]:
+        """After :meth:`max_flow`, the set of labels reachable from the source
+        in the residual graph (i.e. the source side of a minimum cut)."""
+        s = self._node(source)
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                if self._cap[eid] > 0 and self._to[eid] not in seen:
+                    seen.add(self._to[eid])
+                    queue.append(self._to[eid])
+        return {self._labels[i] for i in seen}
+
+    # ---------------------------------------------------------------- internals
+    def _bfs_levels(self, s: int, t: int) -> list[int]:
+        level = [-1] * len(self._adj)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if self._cap[eid] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs_push(
+        self,
+        u: int,
+        t: int,
+        limit: Number | None,
+        level: list[int],
+        it: list[int],
+    ) -> Number | None:
+        """Push one augmenting path (blocking-flow style with iterator pruning)."""
+        if u == t:
+            return limit
+        while it[u] < len(self._adj[u]):
+            eid = self._adj[u][it[u]]
+            v = self._to[eid]
+            residual = self._cap[eid]
+            if residual > 0 and level[v] == level[u] + 1:
+                new_limit = residual if limit is None else min(limit, residual)
+                pushed = self._dfs_push(v, t, new_limit, level, it)
+                if pushed is not None and pushed > 0:
+                    self._cap[eid] -= pushed
+                    self._cap[self._rev[eid]] += pushed
+                    return pushed
+            it[u] += 1
+        return None
+
+
+def max_flow_min_cut(
+    edges: list[tuple[Node, Node, Number]], source: Node, sink: Node
+) -> tuple[Number, set[Node]]:
+    """One-shot helper: build a network, compute max flow and a min cut.
+
+    Returns ``(flow_value, source_side_of_min_cut)``.
+    """
+    net = MaxFlowNetwork()
+    net.add_node(source)
+    net.add_node(sink)
+    for u, v, c in edges:
+        net.add_edge(u, v, c)
+    value = net.max_flow(source, sink)
+    return value, net.min_cut_source_side(source)

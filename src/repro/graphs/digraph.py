@@ -1,0 +1,240 @@
+"""Lightweight directed graph with optional edge weights.
+
+Used by the directed 2-spanner algorithm (Section 4.3.1 of the paper) and by
+the hardness constructions of Section 2, which are directed graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+Node = Hashable
+Arc = tuple[Node, Node]
+
+DEFAULT_WEIGHT = 1.0
+
+
+class DiGraph:
+    """A simple directed graph with float arc weights.
+
+    Arcs are ordered pairs ``(u, v)``; both ``(u, v)`` and ``(v, u)`` may be
+    present.  Self-loops are not supported.
+    """
+
+    directed = True
+
+    def __init__(self, arcs: Iterable[Arc] | None = None) -> None:
+        self._succ: dict[Node, dict[Node, float]] = {}
+        self._pred: dict[Node, dict[Node, float]] = {}
+        if arcs is not None:
+            for u, v in arcs:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, v: Node) -> None:
+        self._succ.setdefault(v, {})
+        self._pred.setdefault(v, {})
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        for v in nodes:
+            self.add_node(v)
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._succ
+
+    def nodes(self) -> list[Node]:
+        return list(self._succ)
+
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    def remove_node(self, v: Node) -> None:
+        if v not in self._succ:
+            raise KeyError(f"node {v!r} not in graph")
+        for u in list(self._succ[v]):
+            del self._pred[u][v]
+        for u in list(self._pred[v]):
+            del self._succ[u][v]
+        del self._succ[v]
+        del self._pred[v]
+
+    # ------------------------------------------------------------------- arcs
+    def add_edge(self, u: Node, v: Node, weight: float = DEFAULT_WEIGHT) -> None:
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u][v] = float(weight)
+        self._pred[v][u] = float(weight)
+
+    def add_edges_from(self, arcs: Iterable[Arc], weight: float = DEFAULT_WEIGHT) -> None:
+        for u, v in arcs:
+            self.add_edge(u, v, weight)
+
+    def add_weighted_edges_from(self, arcs: Iterable[tuple[Node, Node, float]]) -> None:
+        for u, v, w in arcs:
+            self.add_edge(u, v, w)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if not self.has_edge(u, v):
+            raise KeyError(f"arc {(u, v)!r} not in graph")
+        del self._succ[u][v]
+        del self._pred[v][u]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def edges(self) -> Iterator[Arc]:
+        for u, nbrs in self._succ.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def edge_set(self) -> set[Arc]:
+        return set(self.edges())
+
+    def number_of_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._succ.values())
+
+    def weight(self, u: Node, v: Node) -> float:
+        if not self.has_edge(u, v):
+            raise KeyError(f"arc {(u, v)!r} not in graph")
+        return self._succ[u][v]
+
+    def set_weight(self, u: Node, v: Node, weight: float) -> None:
+        if not self.has_edge(u, v):
+            raise KeyError(f"arc {(u, v)!r} not in graph")
+        self._succ[u][v] = float(weight)
+        self._pred[v][u] = float(weight)
+
+    def total_weight(self, arcs: Iterable[Arc] | None = None) -> float:
+        if arcs is None:
+            arcs = self.edges()
+        return sum(self.weight(u, v) for u, v in arcs)
+
+    # -------------------------------------------------------------- structure
+    def successors(self, v: Node) -> set[Node]:
+        if v not in self._succ:
+            raise KeyError(f"node {v!r} not in graph")
+        return set(self._succ[v])
+
+    def predecessors(self, v: Node) -> set[Node]:
+        if v not in self._pred:
+            raise KeyError(f"node {v!r} not in graph")
+        return set(self._pred[v])
+
+    def neighbors(self, v: Node) -> set[Node]:
+        """Union of in- and out-neighbours (the *communication* neighbours)."""
+        return self.successors(v) | self.predecessors(v)
+
+    def out_degree(self, v: Node) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: Node) -> int:
+        return len(self._pred[v])
+
+    def degree(self, v: Node) -> int:
+        """Number of distinct communication neighbours of ``v``."""
+        return len(self.neighbors(v))
+
+    def max_degree(self) -> int:
+        if not self._succ:
+            return 0
+        return max(self.degree(v) for v in self._succ)
+
+    def out_edges(self, v: Node) -> set[Arc]:
+        return {(v, u) for u in self._succ[v]}
+
+    def in_edges(self, v: Node) -> set[Arc]:
+        return {(u, v) for u in self._pred[v]}
+
+    def incident_edges(self, v: Node) -> set[Arc]:
+        return self.out_edges(v) | self.in_edges(v)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        keep = set(nodes)
+        sub = DiGraph()
+        for v in keep:
+            if v in self._succ:
+                sub.add_node(v)
+        for v in keep:
+            if v not in self._succ:
+                continue
+            for u, w in self._succ[v].items():
+                if u in keep:
+                    sub.add_edge(v, u, w)
+        return sub
+
+    def edge_subgraph(self, arcs: Iterable[Arc]) -> "DiGraph":
+        sub = DiGraph()
+        for u, v in arcs:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def copy(self) -> "DiGraph":
+        other = DiGraph()
+        other._succ = {u: dict(nbrs) for u, nbrs in self._succ.items()}
+        other._pred = {u: dict(nbrs) for u, nbrs in self._pred.items()}
+        return other
+
+    def to_undirected(self) -> "object":
+        """Undirected shadow of the digraph (weights of anti-parallel arcs: min)."""
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        for v in self._succ:
+            g.add_node(v)
+        for u, v in self.edges():
+            w = self.weight(u, v)
+            if g.has_edge(u, v):
+                g.set_weight(u, v, min(w, g.weight(u, v)))
+            else:
+                g.add_edge(u, v, w)
+        return g
+
+    # ------------------------------------------------------------- traversals
+    def bfs_distances(self, source: Node, max_depth: int | None = None) -> dict[Node, int]:
+        """Directed hop distances from ``source`` following arc directions."""
+        if source not in self._succ:
+            raise KeyError(f"node {source!r} not in graph")
+        dist = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            depth += 1
+            nxt: list[Node] = []
+            for u in frontier:
+                for w in self._succ[u]:
+                    if w not in dist:
+                        dist[w] = depth
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def has_path_within(self, u: Node, v: Node, max_len: int) -> bool:
+        """True iff there is a directed u->v path of at most ``max_len`` arcs."""
+        if u == v:
+            return True
+        dist = self.bfs_distances(u, max_depth=max_len)
+        return v in dist
+
+    def is_weakly_connected(self) -> bool:
+        return self.to_undirected().is_connected()
+
+    # ---------------------------------------------------------------- dunders
+    def __contains__(self, v: Node) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.number_of_nodes()}, "
+            f"m={self.number_of_edges()})"
+        )

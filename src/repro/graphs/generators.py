@@ -1,0 +1,364 @@
+"""Graph generators used by the examples, tests and benchmark workloads.
+
+Every generator takes an explicit ``seed`` (or ``rng``) so that benchmark
+workloads are reproducible.  Generators that the paper's motivation relies on
+(dense bipartite graphs where 2-spanners are the interesting regime, random
+graphs, power-law graphs) are all provided, for undirected, directed and
+weighted variants.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# --------------------------------------------------------------------- basics
+def path_graph(n: int) -> Graph:
+    """Path on nodes ``0..n-1``."""
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on nodes ``0..n-1`` (requires n >= 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Star with centre 0 and leaves ``1..n_leaves``."""
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n_leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph K_{a,b}.
+
+    This is the paper's canonical example of a graph whose sparsest 2-spanner
+    has Theta(n^2) edges in the worst case, i.e. where *approximating the
+    minimum* 2-spanner (rather than targeting worst-case sparsity) matters.
+    Left side: ``('L', i)``; right side: ``('R', j)``.
+    """
+    g = Graph()
+    left = [("L", i) for i in range(a)]
+    right = [("R", j) for j in range(b)]
+    g.add_nodes_from(left)
+    g.add_nodes_from(right)
+    for u in left:
+        for v in right:
+            g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2D grid; nodes are ``(r, c)`` tuples."""
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """Hypercube on ``2**dim`` nodes (nodes are integers, edges flip one bit)."""
+    g = Graph()
+    n = 1 << dim
+    g.add_nodes_from(range(n))
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+# -------------------------------------------------------------- random graphs
+def gnp_random_graph(n: int, p: float, seed: int | random.Random | None = None) -> Graph:
+    """Erdos-Renyi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: int | random.Random | None = None) -> Graph:
+    """Uniform random graph with exactly ``m`` edges (m <= n*(n-1)/2)."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def connected_gnp_graph(
+    n: int, p: float, seed: int | random.Random | None = None
+) -> Graph:
+    """G(n, p) made connected by adding a random spanning path over components.
+
+    Spanner problems in the paper are stated for connected graphs; this
+    generator guarantees connectivity without significantly biasing density.
+    """
+    rng = _rng(seed)
+    g = gnp_random_graph(n, p, rng)
+    components = g.connected_components()
+    if len(components) > 1:
+        reps = [sorted(comp, key=repr)[0] for comp in components]
+        rng.shuffle(reps)
+        for a, b in zip(reps, reps[1:]):
+            g.add_edge(a, b)
+    return g
+
+
+def random_regular_graph(
+    n: int, d: int, seed: int | random.Random | None = None, max_tries: int = 200
+) -> Graph:
+    """Random d-regular graph via the configuration model with restarts."""
+    if (n * d) % 2 != 0:
+        raise ValueError("n * d must be even")
+    if d >= n:
+        raise ValueError("d must be smaller than n")
+    rng = _rng(seed)
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        g = Graph()
+        g.add_nodes_from(range(n))
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or g.has_edge(u, v):
+                ok = False
+                break
+            g.add_edge(u, v)
+        if ok:
+            return g
+    raise RuntimeError("failed to generate a simple regular graph; try another seed")
+
+
+def barabasi_albert_graph(
+    n: int, m: int, seed: int | random.Random | None = None
+) -> Graph:
+    """Preferential-attachment (power-law degree) graph.
+
+    Each new node attaches to ``m`` existing nodes chosen proportionally to
+    their degree.  Produces the skewed-degree topologies where the paper's
+    O(log Delta) factors differ visibly from O(log n).
+    """
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes_from(range(m + 1))
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            g.add_edge(i, j)
+    repeated: list[int] = [v for v in range(m + 1) for _ in range(m)]
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(new, t)
+            repeated.append(t)
+            repeated.append(new)
+    return g
+
+
+def cluster_graph(
+    n_clusters: int,
+    cluster_size: int,
+    p_intra: float = 0.8,
+    p_inter: float = 0.02,
+    seed: int | random.Random | None = None,
+) -> Graph:
+    """Planted-partition graph: dense clusters, sparse inter-cluster edges.
+
+    A natural workload for 2-spanners: the optimum keeps roughly one star per
+    cluster while a naive solution keeps all intra-cluster edges.
+    """
+    rng = _rng(seed)
+    n = n_clusters * cluster_size
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i // cluster_size) == (j // cluster_size)
+            p = p_intra if same else p_inter
+            if rng.random() < p:
+                g.add_edge(i, j)
+    components = g.connected_components()
+    if len(components) > 1:
+        reps = [sorted(comp)[0] for comp in components]
+        for a, b in zip(reps, reps[1:]):
+            g.add_edge(a, b)
+    return g
+
+
+def overlapping_stars_graph(
+    n_centres: int, leaves_per_centre: int, overlap: int, seed: int | random.Random | None = None
+) -> Graph:
+    """Centres sharing ``overlap`` leaves with the next centre, plus leaf-leaf edges.
+
+    Designed so that dense stars overlap in the edges they 2-span, exercising
+    the paper's symmetry-breaking voting scheme.
+    """
+    rng = _rng(seed)
+    if overlap >= leaves_per_centre:
+        raise ValueError("overlap must be smaller than leaves_per_centre")
+    g = Graph()
+    leaf_id = 0
+    prev_leaves: list[tuple[str, int]] = []
+    for c in range(n_centres):
+        centre = ("C", c)
+        g.add_node(centre)
+        leaves = list(prev_leaves[-overlap:]) if prev_leaves else []
+        while len(leaves) < leaves_per_centre:
+            leaf = ("V", leaf_id)
+            leaf_id += 1
+            leaves.append(leaf)
+        for leaf in leaves:
+            g.add_edge(centre, leaf)
+        for i in range(len(leaves)):
+            for j in range(i + 1, len(leaves)):
+                if rng.random() < 0.5:
+                    g.add_edge(leaves[i], leaves[j])
+        prev_leaves = leaves
+    components = g.connected_components()
+    if len(components) > 1:
+        reps = [sorted(comp, key=repr)[0] for comp in components]
+        for a, b in zip(reps, reps[1:]):
+            g.add_edge(a, b)
+    return g
+
+
+# ---------------------------------------------------------------- directed
+def random_digraph(n: int, p: float, seed: int | random.Random | None = None) -> DiGraph:
+    """Each ordered pair (u, v), u != v, is an arc independently with prob. p."""
+    rng = _rng(seed)
+    g = DiGraph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_tournament(n: int, seed: int | random.Random | None = None) -> DiGraph:
+    """Complete graph with each edge oriented uniformly at random."""
+    rng = _rng(seed)
+    g = DiGraph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.5:
+                g.add_edge(u, v)
+            else:
+                g.add_edge(v, u)
+    return g
+
+
+def orient_randomly(graph: Graph, seed: int | random.Random | None = None) -> DiGraph:
+    """Orient each undirected edge in a random direction (keeping weights)."""
+    rng = _rng(seed)
+    d = DiGraph()
+    d.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        w = graph.weight(u, v)
+        if rng.random() < 0.5:
+            d.add_edge(u, v, w)
+        else:
+            d.add_edge(v, u, w)
+    return d
+
+
+def bidirect(graph: Graph) -> DiGraph:
+    """Replace each undirected edge by two anti-parallel arcs."""
+    d = DiGraph()
+    d.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        w = graph.weight(u, v)
+        d.add_edge(u, v, w)
+        d.add_edge(v, u, w)
+    return d
+
+
+# ---------------------------------------------------------------- weights
+def assign_random_weights(
+    graph: Graph | DiGraph,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: int | random.Random | None = None,
+    integer: bool = False,
+) -> None:
+    """Assign i.i.d. uniform weights in ``[low, high]`` to every edge, in place."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    rng = _rng(seed)
+    for u, v in list(graph.edges()):
+        w = rng.uniform(low, high)
+        if integer:
+            w = float(rng.randint(int(low), int(high)))
+        graph.set_weight(u, v, w)
+
+
+def assign_weights_from_choices(
+    graph: Graph | DiGraph,
+    choices: Sequence[float],
+    seed: int | random.Random | None = None,
+) -> None:
+    """Assign each edge a weight drawn uniformly from ``choices``, in place."""
+    if not choices:
+        raise ValueError("choices must be non-empty")
+    rng = _rng(seed)
+    for u, v in list(graph.edges()):
+        graph.set_weight(u, v, float(rng.choice(list(choices))))

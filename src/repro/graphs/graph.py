@@ -1,0 +1,255 @@
+"""Lightweight undirected graph with optional edge weights.
+
+The simulator and the spanner algorithms need a small, predictable graph
+container with O(1) neighbour lookups, canonical undirected edge keys, and
+cheap copies.  ``networkx`` is supported through :mod:`repro.graphs.nx_interop`
+for interoperability, but the hot paths use this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+DEFAULT_WEIGHT = 1.0
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Return the canonical (ordered) key for the undirected edge ``{u, v}``.
+
+    The canonical form is used everywhere an undirected edge is stored in a
+    set or dict, so that ``{u, v}`` and ``{v, u}`` are the same object.
+    Self-loops are rejected because spanners are defined on simple graphs.
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: {u!r}")
+    try:
+        smaller = u <= v  # type: ignore[operator]
+    except TypeError:
+        smaller = (str(type(u)), repr(u)) <= (str(type(v)), repr(v))
+    return (u, v) if smaller else (v, u)
+
+
+class Graph:
+    """A simple undirected graph with float edge weights.
+
+    Nodes may be any hashable value.  Parallel edges and self-loops are not
+    supported.  Edge weights default to ``1.0``; a graph is considered
+    *weighted* only with respect to how callers interpret the weights.
+    """
+
+    directed = False
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, v: Node) -> None:
+        """Add an isolated node (no-op if already present)."""
+        self._adj.setdefault(v, {})
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        for v in nodes:
+            self.add_node(v)
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._adj
+
+    def nodes(self) -> list[Node]:
+        """Return the nodes in insertion order."""
+        return list(self._adj)
+
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    def remove_node(self, v: Node) -> None:
+        if v not in self._adj:
+            raise KeyError(f"node {v!r} not in graph")
+        for u in list(self._adj[v]):
+            del self._adj[u][v]
+        del self._adj[v]
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, u: Node, v: Node, weight: float = DEFAULT_WEIGHT) -> None:
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def add_edges_from(
+        self, edges: Iterable[Edge], weight: float = DEFAULT_WEIGHT
+    ) -> None:
+        for u, v in edges:
+            self.add_edge(u, v, weight)
+
+    def add_weighted_edges_from(self, edges: Iterable[tuple[Node, Node, float]]) -> None:
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge {(u, v)!r} not in graph")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once in canonical key order."""
+        seen: set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def edge_set(self) -> set[Edge]:
+        return set(self.edges())
+
+    def number_of_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def weight(self, u: Node, v: Node) -> float:
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge {(u, v)!r} not in graph")
+        return self._adj[u][v]
+
+    def set_weight(self, u: Node, v: Node, weight: float) -> None:
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge {(u, v)!r} not in graph")
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def total_weight(self, edges: Iterable[Edge] | None = None) -> float:
+        """Sum of weights of ``edges`` (or of all edges if ``None``)."""
+        if edges is None:
+            edges = self.edges()
+        return sum(self.weight(u, v) for u, v in edges)
+
+    # -------------------------------------------------------------- structure
+    def neighbors(self, v: Node) -> set[Node]:
+        if v not in self._adj:
+            raise KeyError(f"node {v!r} not in graph")
+        return set(self._adj[v])
+
+    def degree(self, v: Node) -> int:
+        if v not in self._adj:
+            raise KeyError(f"node {v!r} not in graph")
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def incident_edges(self, v: Node) -> set[Edge]:
+        """Canonical keys of all edges touching ``v``."""
+        return {edge_key(v, u) for u in self.neighbors(v)}
+
+    def adjacency(self) -> dict[Node, dict[Node, float]]:
+        """A deep copy of the adjacency structure (node -> neighbour -> weight)."""
+        return {u: dict(nbrs) for u, nbrs in self._adj.items()}
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes`` (weights preserved)."""
+        keep = set(nodes)
+        sub = Graph()
+        for v in keep:
+            if v in self._adj:
+                sub.add_node(v)
+        for v in keep:
+            if v not in self._adj:
+                continue
+            for u, w in self._adj[v].items():
+                if u in keep:
+                    sub.add_edge(v, u, w)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """The subgraph consisting of exactly ``edges`` (weights preserved)."""
+        sub = Graph()
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def copy(self) -> "Graph":
+        other = Graph()
+        other._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        return other
+
+    # ------------------------------------------------------------- traversals
+    def bfs_distances(self, source: Node, max_depth: int | None = None) -> dict[Node, int]:
+        """Hop distances from ``source`` to every reachable node.
+
+        ``max_depth`` truncates the search (distances beyond it are omitted).
+        """
+        if source not in self._adj:
+            raise KeyError(f"node {source!r} not in graph")
+        dist = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            depth += 1
+            nxt: list[Node] = []
+            for u in frontier:
+                for w in self._adj[u]:
+                    if w not in dist:
+                        dist[w] = depth
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def ball(self, source: Node, radius: int) -> set[Node]:
+        """All nodes within hop distance ``radius`` of ``source`` (inclusive)."""
+        return set(self.bfs_distances(source, max_depth=radius))
+
+    def is_connected(self) -> bool:
+        if self.number_of_nodes() == 0:
+            return True
+        start = next(iter(self._adj))
+        return len(self.bfs_distances(start)) == self.number_of_nodes()
+
+    def connected_components(self) -> list[set[Node]]:
+        remaining = set(self._adj)
+        components: list[set[Node]] = []
+        while remaining:
+            start = next(iter(remaining))
+            comp = set(self.bfs_distances(start))
+            components.append(comp)
+            remaining -= comp
+        return components
+
+    def has_path_within(self, u: Node, v: Node, max_len: int) -> bool:
+        """True iff there is a u-v path of at most ``max_len`` edges."""
+        if u == v:
+            return True
+        dist = self.bfs_distances(u, max_depth=max_len)
+        return v in dist
+
+    # ---------------------------------------------------------------- dunders
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.number_of_nodes()}, "
+            f"m={self.number_of_edges()})"
+        )

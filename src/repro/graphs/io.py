@@ -1,0 +1,48 @@
+"""Edge-list serialisation for graphs (plain text, reproducible round-trips)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+def write_edge_list(graph: Graph | DiGraph, path: str | Path) -> None:
+    """Write ``graph`` as a JSON-lines edge list.
+
+    The first line is a header object (directed flag, node list so that
+    isolated nodes survive the round trip); each subsequent line is
+    ``[u, v, weight]``.  Nodes must be JSON-serialisable.
+    """
+    path = Path(path)
+    lines = [json.dumps({"directed": graph.directed, "nodes": list(graph.nodes())})]
+    for u, v in graph.edges():
+        lines.append(json.dumps([u, v, graph.weight(u, v)]))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: str | Path) -> Graph | DiGraph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    JSON turns tuples into lists; composite node labels are restored as
+    tuples so that round trips preserve identity for the generators in this
+    package (which use tuple labels like ``("L", 3)``).
+    """
+    path = Path(path)
+    lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"empty graph file: {path}")
+    header = json.loads(lines[0])
+
+    def fix(node: object) -> object:
+        return tuple(node) if isinstance(node, list) else node
+
+    graph: Graph | DiGraph = DiGraph() if header.get("directed") else Graph()
+    for node in header.get("nodes", []):
+        graph.add_node(fix(node))
+    for line in lines[1:]:
+        u, v, w = json.loads(line)
+        graph.add_edge(fix(u), fix(v), float(w))
+    return graph

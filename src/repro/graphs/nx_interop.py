@@ -1,0 +1,31 @@
+"""Conversions between :mod:`repro.graphs` containers and ``networkx`` graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import DEFAULT_WEIGHT, Graph
+
+
+def to_networkx(graph: Graph | DiGraph) -> "nx.Graph | nx.DiGraph":
+    """Convert to an equivalent networkx graph with ``weight`` edge attributes."""
+    out: nx.Graph | nx.DiGraph = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        out.add_edge(u, v, weight=graph.weight(u, v))
+    return out
+
+
+def from_networkx(nx_graph: "nx.Graph | nx.DiGraph") -> Graph | DiGraph:
+    """Convert a networkx graph; missing ``weight`` attributes default to 1.0.
+
+    Multigraphs are rejected (spanners are defined on simple graphs).
+    """
+    if nx_graph.is_multigraph():
+        raise ValueError("multigraphs are not supported")
+    graph: Graph | DiGraph = DiGraph() if nx_graph.is_directed() else Graph()
+    graph.add_nodes_from(nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        graph.add_edge(u, v, float(data.get("weight", DEFAULT_WEIGHT)))
+    return graph

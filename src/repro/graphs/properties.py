@@ -1,0 +1,109 @@
+"""Structural graph properties used throughout the algorithms and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph, Node, edge_key
+
+
+def average_degree(graph: Graph) -> float:
+    """2m / n (0 for the empty graph)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / n
+
+
+def density_ratio(graph: Graph) -> float:
+    """m / n — the quantity inside the paper's O(log(m/n)) approximation ratio."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return graph.number_of_edges() / n
+
+
+def log_m_over_n(graph: Graph) -> float:
+    """max(1, log2(m/n)); the paper's approximation-ratio yardstick for Thm 1.3."""
+    return max(1.0, math.log2(max(2.0, density_ratio(graph))))
+
+
+def log_max_degree(graph: Graph | DiGraph) -> float:
+    """max(1, log2(Delta)); the yardstick for the weighted / MDS O(log Delta) ratios."""
+    return max(1.0, math.log2(max(2, graph.max_degree())))
+
+
+def diameter(graph: Graph) -> int:
+    """Hop diameter of a connected graph (raises on disconnected input)."""
+    if not graph.is_connected():
+        raise ValueError("diameter is only defined for connected graphs")
+    best = 0
+    for v in graph.nodes():
+        dist = graph.bfs_distances(v)
+        best = max(best, max(dist.values(), default=0))
+    return best
+
+
+def two_neighborhood(graph: Graph, v: Node) -> set[Node]:
+    """All vertices at distance at most 2 from ``v`` (excluding ``v`` itself)."""
+    ball = graph.ball(v, 2)
+    ball.discard(v)
+    return ball
+
+
+def edges_between(graph: Graph, nodes: Iterable[Node]) -> set[tuple[Node, Node]]:
+    """Canonical keys of the graph edges with both endpoints in ``nodes``."""
+    node_set = set(nodes)
+    result: set[tuple[Node, Node]] = set()
+    for u in node_set:
+        if u not in graph:
+            continue
+        for w in graph.neighbors(u):
+            if w in node_set:
+                result.add(edge_key(u, w))
+    return result
+
+
+def power_graph(graph: Graph, r: int) -> Graph:
+    """The r-th power G^r: u ~ v iff their hop distance in G is between 1 and r.
+
+    Used by the (1+eps) LOCAL algorithm of Section 6, which runs a network
+    decomposition on G^r for r = O(log n / eps).
+    """
+    if r < 1:
+        raise ValueError("r must be at least 1")
+    g = Graph()
+    g.add_nodes_from(graph.nodes())
+    for v in graph.nodes():
+        for u, d in graph.bfs_distances(v, max_depth=r).items():
+            if 1 <= d <= r:
+                g.add_edge(v, u)
+    return g
+
+
+def is_dominating_set(graph: Graph, dominators: Iterable[Node]) -> bool:
+    """True iff every vertex is in ``dominators`` or has a neighbour in it."""
+    dom = set(dominators)
+    for v in graph.nodes():
+        if v in dom:
+            continue
+        if not (graph.neighbors(v) & dom):
+            return False
+    return True
+
+
+def is_vertex_cover(graph: Graph, cover: Iterable[Node]) -> bool:
+    """True iff every edge has at least one endpoint in ``cover``."""
+    cov = set(cover)
+    return all(u in cov or v in cov for u, v in graph.edges())
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping degree -> number of vertices with that degree."""
+    hist: dict[int, int] = {}
+    for v in graph.nodes():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

@@ -1,0 +1,202 @@
+"""The Section 2 lower-bound construction G(ell, beta) (Figure 1).
+
+The graph has two input-independent gadgets — a matching layer
+X1 -> Y1 and a complete bipartite "dense component" D between X2 and Y2 —
+wired so that a directed k-spanner (k >= 5) can avoid the Theta(n^2) edges of
+D exactly when, for every pair of indices (i, r), at least one of the input
+bits a_{ir}, b_{ir} is zero (Claim 2.2).  Disjoint inputs therefore admit a
+spanner of c*ell*beta edges while every intersecting pair forces beta^2 edges
+of D into any spanner (Lemma 2.3), and far-from-disjoint inputs force
+(beta^2/12)*ell^2 edges (Lemma 2.6).
+
+Vertex labels:
+
+* ``("x1", i)`` / ``("x2", i)``   — the X1 layer
+* ``("y1", i)`` / ``("y2", i)``   — the Y1 layer (Bob's side, V_B)
+* ``("x", i, j)`` / ``("y", i, j)`` — the X2 / Y2 blocks of size beta
+* ``("y3", i)``                   — the Y3 relay layer
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.digraph import Arc, DiGraph
+from repro.lowerbounds.two_party import DisjointnessInstance
+
+SPANNER_CONSTANT_C = 7  # the constant c of Lemmas 2.3 and 2.6
+
+
+@dataclass
+class ConstructionG:
+    """The built graph together with the pieces the reduction needs."""
+
+    ell: int
+    beta: int
+    instance: DisjointnessInstance
+    graph: DiGraph
+    d_edges: frozenset[Arc]
+    alice_vertices: frozenset
+    bob_vertices: frozenset
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def cut_edges(self) -> set[Arc]:
+        """Arcs with one endpoint on each side of the Alice/Bob partition."""
+        cut = set()
+        for u, v in self.graph.edges():
+            if (u in self.bob_vertices) != (v in self.bob_vertices):
+                cut.add((u, v))
+        return cut
+
+    def bit(self, which: str, i: int, j: int) -> int:
+        """Input bit a_{ij} or b_{ij} (1-based indices)."""
+        index = (i - 1) * self.ell + (j - 1)
+        return self.instance.a[index] if which == "a" else self.instance.b[index]
+
+    def bad_pairs(self) -> set[tuple[int, int]]:
+        """Index pairs (i, r) with a_{ir} = b_{ir} = 1 (forcing D edges)."""
+        return {
+            (i, r)
+            for i in range(1, self.ell + 1)
+            for r in range(1, self.ell + 1)
+            if self.bit("a", i, r) == 1 and self.bit("b", i, r) == 1
+        }
+
+    def forced_d_edges(self) -> set[Arc]:
+        """The D edges every k-spanner (k >= 5) must contain (Claim 2.2)."""
+        forced = set()
+        for i, r in self.bad_pairs():
+            for j in range(1, self.beta + 1):
+                for s in range(1, self.beta + 1):
+                    forced.add((("x", i, j), ("y", r, s)))
+        return forced
+
+    def non_d_edges(self) -> set[Arc]:
+        return set(self.graph.edges()) - set(self.d_edges)
+
+    def sparse_spanner_bound(self) -> int:
+        """c * ell * beta, the Lemma 2.3 size of the disjoint-input spanner."""
+        return SPANNER_CONSTANT_C * self.ell * self.beta
+
+
+def build_construction_g(
+    ell: int, beta: int, instance: DisjointnessInstance
+) -> ConstructionG:
+    """Build G(ell, beta) for the given 2-party inputs of length ell^2."""
+    if ell < 1 or beta < 1:
+        raise ValueError("ell and beta must be positive")
+    if instance.n_bits != ell * ell:
+        raise ValueError(f"inputs must have ell^2 = {ell * ell} bits, got {instance.n_bits}")
+
+    g = DiGraph()
+    x1 = [("x1", i) for i in range(1, ell + 1)]
+    x2 = [("x2", i) for i in range(1, ell + 1)]
+    y1 = [("y1", i) for i in range(1, ell + 1)]
+    y2 = [("y2", i) for i in range(1, ell + 1)]
+    y3 = [("y3", i) for i in range(1, ell + 1)]
+    xs = {(i, j): ("x", i, j) for i in range(1, ell + 1) for j in range(1, beta + 1)}
+    ys = {(i, j): ("y", i, j) for i in range(1, ell + 1) for j in range(1, beta + 1)}
+    for v in x1 + x2 + y1 + y2 + y3 + list(xs.values()) + list(ys.values()):
+        g.add_node(v)
+
+    # Matching between X1 and Y1.
+    for i in range(1, ell + 1):
+        g.add_edge(("x1", i), ("y1", i))
+        g.add_edge(("x2", i), ("y2", i))
+    # The dense component D: complete bipartite from X2-blocks to Y2-blocks.
+    d_edges = set()
+    for (i, j), x_node in xs.items():
+        for (r, s), y_node in ys.items():
+            g.add_edge(x_node, y_node)
+            d_edges.add((x_node, y_node))
+    # Block-to-layer wiring.
+    for (i, j), x_node in xs.items():
+        g.add_edge(x_node, ("x1", i))
+    for (i, j), y_node in ys.items():
+        g.add_edge(("y3", i), y_node)
+    for i in range(1, ell + 1):
+        g.add_edge(("y2", i), ("y3", i))
+    # Input-dependent edges: a_{ij} = 0 adds (x1_i -> x2_j); b_{ij} = 0 adds (y1_i -> y2_j).
+    for i in range(1, ell + 1):
+        for j in range(1, ell + 1):
+            index = (i - 1) * ell + (j - 1)
+            if instance.a[index] == 0:
+                g.add_edge(("x1", i), ("x2", j))
+            if instance.b[index] == 0:
+                g.add_edge(("y1", i), ("y2", j))
+
+    # Bob simulates the paper's Y1 = {y1_i} union {y2_i}; Alice simulates the rest,
+    # so the only cut edges are the 2*ell matching edges and the ell edges (y2_i, y3_i).
+    bob = frozenset(y1) | frozenset(y2)
+    alice = frozenset(v for v in g.nodes() if v not in bob)
+    return ConstructionG(
+        ell=ell,
+        beta=beta,
+        instance=instance,
+        graph=g,
+        d_edges=frozenset(d_edges),
+        alice_vertices=alice,
+        bob_vertices=bob,
+    )
+
+
+# ----------------------------------------------------------------- properties
+def claim_2_2_holds(construction: ConstructionG, i: int, r: int) -> bool:
+    """Check Claim 2.2 for the index pair (i, r) on the built graph.
+
+    If one of the edges (x1_i, x2_r), (y1_i, y2_r) exists there is a directed
+    path of length 5 from x_{i,j} to y_{r,s} avoiding D; otherwise the only
+    directed path is the D edge itself.
+    """
+    g = construction.graph
+    has_shortcut = g.has_edge(("x1", i), ("x2", r)) or g.has_edge(("y1", i), ("y2", r))
+    without_d = g.edge_subgraph(construction.non_d_edges())
+    source = ("x", i, 1)
+    target = ("y", r, 1)
+    reachable = without_d.has_path_within(source, target, max_len=5)
+    if has_shortcut:
+        return reachable
+    # No shortcut: no path of any length avoiding D may exist.
+    any_path = target in without_d.bfs_distances(source)
+    return not any_path
+
+
+def disjoint_case_spanner(construction: ConstructionG) -> set[Arc]:
+    """Lemma 2.3's sparse spanner for disjoint inputs: all edges outside D."""
+    return construction.non_d_edges()
+
+
+def minimum_required_d_edges(construction: ConstructionG) -> int:
+    """Lower bound on D edges in *any* k-spanner (k >= 5): beta^2 per bad pair."""
+    return len(construction.bad_pairs()) * construction.beta**2
+
+
+def theorem_1_1_parameters(n_target: int, alpha: float) -> tuple[int, int]:
+    """The (ell, beta) choice from the proof of Theorem 1.1 (randomised bound).
+
+    ``q = ceil(alpha * c) + 1``, ``ell = floor(sqrt(n'/(c q)))``, ``beta = q * ell``.
+    Requires alpha <= n'/100 so that ell is positive.
+    """
+    c = SPANNER_CONSTANT_C
+    q = int(math.ceil(alpha * c)) + 1
+    ell = int(math.floor(math.sqrt(n_target / (c * q))))
+    if ell < 1:
+        raise ValueError("n_target too small for this alpha (need alpha <= n/100)")
+    return ell, q * ell
+
+
+def theorem_2_8_parameters(n_target: int, alpha: float) -> tuple[int, int]:
+    """The (ell, beta) choice from the proof of Theorem 2.8 (deterministic bound).
+
+    ``beta = ceil(sqrt(12 alpha c)) + 1``, ``ell = floor(n'/(c beta))`` (requires beta <= ell).
+    """
+    c = SPANNER_CONSTANT_C
+    beta = int(math.ceil(math.sqrt(12 * alpha * c))) + 1
+    ell = int(math.floor(n_target / (c * beta)))
+    if ell < beta:
+        raise ValueError("n_target too small for this alpha (need beta <= ell)")
+    return ell, beta

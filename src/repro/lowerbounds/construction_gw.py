@@ -1,0 +1,173 @@
+"""The weighted lower-bound constructions of Section 2.3 (Figure 2).
+
+``G_w(ell)`` is the beta = 1 specialisation of G(ell, beta) with the Y3 layer
+removed and weights: 0 on every edge outside the dense component D and 1 on
+the edges of D.  A weighted directed k-spanner (k >= 4) of cost zero exists
+iff the inputs are disjoint (Theorem 2.9).  The undirected variant replaces
+the (y2_i, y_i) edge by a path of length k-3 so that the same characterisation
+holds for undirected k-spanners (Theorem 2.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.digraph import Arc, DiGraph
+from repro.graphs.graph import Edge, Graph, edge_key
+from repro.lowerbounds.two_party import DisjointnessInstance
+
+
+@dataclass
+class ConstructionGw:
+    """The weighted directed construction G_w(ell)."""
+
+    ell: int
+    instance: DisjointnessInstance
+    graph: DiGraph
+    d_edges: frozenset[Arc]
+    alice_vertices: frozenset
+    bob_vertices: frozenset
+
+    def cut_edges(self) -> set[Arc]:
+        cut = set()
+        for u, v in self.graph.edges():
+            if (u in self.bob_vertices) != (v in self.bob_vertices):
+                cut.add((u, v))
+        return cut
+
+    def zero_weight_arcs(self) -> set[Arc]:
+        return {a for a in self.graph.edges() if self.graph.weight(*a) == 0}
+
+
+def build_construction_gw(ell: int, instance: DisjointnessInstance) -> ConstructionGw:
+    """Build the weighted directed construction for inputs of length ell^2."""
+    if ell < 1:
+        raise ValueError("ell must be positive")
+    if instance.n_bits != ell * ell:
+        raise ValueError(f"inputs must have ell^2 = {ell * ell} bits, got {instance.n_bits}")
+
+    g = DiGraph()
+    for i in range(1, ell + 1):
+        for label in ("x1", "x2", "y1", "y2", "x", "y"):
+            g.add_node((label, i))
+
+    d_edges = set()
+    for i in range(1, ell + 1):
+        g.add_edge(("x1", i), ("y1", i), 0.0)
+        g.add_edge(("x2", i), ("y2", i), 0.0)
+        g.add_edge(("x", i), ("x1", i), 0.0)
+        g.add_edge(("y2", i), ("y", i), 0.0)
+        for j in range(1, ell + 1):
+            g.add_edge(("x", i), ("y", j), 1.0)
+            d_edges.add((("x", i), ("y", j)))
+    for i in range(1, ell + 1):
+        for j in range(1, ell + 1):
+            index = (i - 1) * ell + (j - 1)
+            if instance.a[index] == 0:
+                g.add_edge(("x1", i), ("x2", j), 0.0)
+            if instance.b[index] == 0:
+                g.add_edge(("y1", i), ("y2", j), 0.0)
+
+    # Bob's side is the paper's Y1 = {y1_i} union {y2_i}, keeping the cut at Theta(ell).
+    bob = frozenset(("y1", i) for i in range(1, ell + 1)) | frozenset(
+        ("y2", i) for i in range(1, ell + 1)
+    )
+    alice = frozenset(v for v in g.nodes() if v not in bob)
+    return ConstructionGw(
+        ell=ell,
+        instance=instance,
+        graph=g,
+        d_edges=frozenset(d_edges),
+        alice_vertices=alice,
+        bob_vertices=bob,
+    )
+
+
+def has_zero_cost_spanner(construction: ConstructionGw, k: int = 4) -> bool:
+    """True iff every D edge is covered by a weight-0 directed path of length <= k.
+
+    Theorem 2.9: this holds exactly when the input strings are disjoint, so a
+    single D edge in the output of any alpha-approximation betrays an
+    intersection.
+    """
+    zero_graph = construction.graph.edge_subgraph(construction.zero_weight_arcs())
+    for u, v in construction.d_edges:
+        if not zero_graph.has_path_within(u, v, k):
+            return False
+    return True
+
+
+def zero_cost_spanner(construction: ConstructionGw) -> set[Arc]:
+    """The candidate zero-cost spanner (all weight-0 arcs)."""
+    return construction.zero_weight_arcs()
+
+
+# ------------------------------------------------------- undirected variant
+@dataclass
+class ConstructionGwUndirected:
+    """The undirected weighted construction of Theorem 2.10 for stretch k."""
+
+    ell: int
+    k: int
+    instance: DisjointnessInstance
+    graph: Graph
+    d_edges: frozenset[Edge]
+    bob_vertices: frozenset
+
+    def zero_weight_edges(self) -> set[Edge]:
+        return {e for e in self.graph.edges() if self.graph.weight(*e) == 0}
+
+
+def build_construction_gw_undirected(
+    ell: int, instance: DisjointnessInstance, k: int = 4
+) -> ConstructionGwUndirected:
+    """Undirected variant: the (y2_i, y_i) link becomes a weight-0 path of length k-3."""
+    if k < 4:
+        raise ValueError("the undirected construction needs k >= 4")
+    if instance.n_bits != ell * ell:
+        raise ValueError(f"inputs must have ell^2 = {ell * ell} bits, got {instance.n_bits}")
+
+    g = Graph()
+    for i in range(1, ell + 1):
+        for label in ("x1", "x2", "y1", "y2", "x", "y"):
+            g.add_node((label, i))
+
+    d_edges = set()
+    for i in range(1, ell + 1):
+        g.add_edge(("x1", i), ("y1", i), 0.0)
+        g.add_edge(("x2", i), ("y2", i), 0.0)
+        g.add_edge(("x", i), ("x1", i), 0.0)
+        # Path of length k-3 from y2_i to y_i through fresh relay vertices.
+        previous = ("y2", i)
+        for step in range(1, k - 3):
+            relay = ("yr", i, step)
+            g.add_node(relay)
+            g.add_edge(previous, relay, 0.0)
+            previous = relay
+        g.add_edge(previous, ("y", i), 0.0)
+        for j in range(1, ell + 1):
+            g.add_edge(("x", i), ("y", j), 1.0)
+            d_edges.add(edge_key(("x", i), ("y", j)))
+    for i in range(1, ell + 1):
+        for j in range(1, ell + 1):
+            index = (i - 1) * ell + (j - 1)
+            if instance.a[index] == 0:
+                g.add_edge(("x1", i), ("x2", j), 0.0)
+            if instance.b[index] == 0:
+                g.add_edge(("y1", i), ("y2", j), 0.0)
+
+    bob = frozenset(("y1", i) for i in range(1, ell + 1)) | frozenset(
+        ("y2", i) for i in range(1, ell + 1)
+    )
+    return ConstructionGwUndirected(
+        ell=ell, k=k, instance=instance, graph=g, d_edges=frozenset(d_edges), bob_vertices=bob
+    )
+
+
+def has_zero_cost_spanner_undirected(construction: ConstructionGwUndirected) -> bool:
+    """True iff every D edge is covered by a weight-0 path of length <= k."""
+    zero_graph = construction.graph.edge_subgraph(construction.zero_weight_edges())
+    for u, v in construction.d_edges:
+        if not zero_graph.has_path_within(u, v, construction.k):
+            return False
+    return True

@@ -1,0 +1,228 @@
+"""Alice/Bob simulation harness for the Section 2 reductions (experiments E9/E10).
+
+The reduction argument: Alice simulates the vertices of V_A, Bob the vertices
+of V_B = Y1, and every bit a CONGEST algorithm sends across the cut is a bit
+of two-party communication; since (gap) set disjointness needs Omega(N) bits,
+any algorithm whose output reveals disjointness needs Omega(N / (cut * log n))
+rounds.
+
+Because no efficient CONGEST algorithm for directed k-spanner approximation
+exists (that is the theorem), the harness ships a concrete *reference*
+protocol, :class:`GSpannerDecisionProgram`, that computes a valid 5-spanner of
+G(ell, beta) by shipping the b-input bits from Bob's side to Alice's side over
+the matching edges.  It is essentially an optimal protocol for this family:
+its measured cut communication is Theta(ell^2) = Theta(N) bits, matching the
+lower bound, and its round count scales as predicted by Theorems 1.1 / 2.8.
+The benchmark reports measured cut-bits and rounds next to the theoretical
+formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.distributed.models import congest_model
+from repro.distributed.node import NodeContext
+from repro.distributed.program import Inbox, NodeProgram
+from repro.distributed.simulator import Simulator
+from repro.graphs.digraph import Arc
+from repro.lowerbounds.construction_g import SPANNER_CONSTANT_C, ConstructionG
+from repro.lowerbounds.two_party import (
+    disjointness_lower_bound_bits,
+    implied_round_lower_bound,
+)
+
+
+@dataclass
+class ReductionReport:
+    """Everything experiment E9/E10 reports for one simulated instance."""
+
+    n: int
+    ell: int
+    beta: int
+    ground_truth_disjoint: bool
+    decided_disjoint: bool
+    spanner_size: int
+    d_edges_in_spanner: int
+    sparse_bound: int
+    rounds: int
+    cut_edges: int
+    cut_bits: int
+    cut_messages: int
+    disjointness_bits_needed: int
+    implied_rounds_lower_bound: float
+    theorem_rounds_lower_bound: float
+
+    @property
+    def decision_correct(self) -> bool:
+        return self.decided_disjoint == self.ground_truth_disjoint
+
+
+class GSpannerDecisionProgram(NodeProgram):
+    """Reference CONGEST protocol building a minimal-shape 5-spanner of G(ell, beta).
+
+    * every vertex keeps all of its outgoing non-D arcs;
+    * each ``y1_i`` ships its input row ``b_{i,*}`` to ``x1_i`` in O(log n)-bit
+      chunks (this is the only traffic crossing the Alice/Bob cut);
+    * each ``x1_i`` forwards the conflict row ``a_{i,*} AND b_{i,*}`` to its
+      X2-block, and block vertices keep the D arcs of conflicting pairs.
+    """
+
+    def __init__(self, node: Any, ell: int, beta: int, out_arcs: set[Arc], chunk_bits: int = 16) -> None:
+        self.node = node
+        self.ell = ell
+        self.beta = beta
+        self.out_arcs = out_arcs
+        self.chunk_bits = max(1, chunk_bits)
+        self.kind = node[0]
+        self.received_bits: dict[int, int] = {}
+        self.chunks_needed = math.ceil(ell / self.chunk_bits)
+        self.chunks_sent = 0
+        self.row: list[int] | None = None
+        self.spanner: set[Arc] = set()
+
+    # ------------------------------------------------------------------ helpers
+    def _non_d_out_arcs(self) -> set[Arc]:
+        return {(u, v) for (u, v) in self.out_arcs if not (u[0] == "x" and v[0] == "y")}
+
+    def _pack(self, bits: list[int], start: int) -> int:
+        value = 0
+        for offset, bit in enumerate(bits[start : start + self.chunk_bits]):
+            value |= bit << offset
+        return value
+
+    def _unpack_into(self, start: int, value: int) -> None:
+        for offset in range(self.chunk_bits):
+            index = start + offset
+            if index < self.ell:
+                self.received_bits[index] = (value >> offset) & 1
+
+    # ------------------------------------------------------------------ rounds
+    def on_start(self, ctx: NodeContext) -> None:
+        self.spanner |= self._non_d_out_arcs()
+        if self.kind == "y1":
+            # Row b_{i,*}: bit j-1 is 1 exactly when the optional edge (y1_i, y2_j) is absent.
+            _, i = self.node
+            self.row = [
+                0 if (self.node, ("y2", j)) in self.out_arcs else 1
+                for j in range(1, self.ell + 1)
+            ]
+            self._send_next_chunk(ctx, target=("x1", i))
+        elif self.kind in {"x2", "y2", "y3", "y"}:
+            ctx.set_output(sorted(self.spanner, key=repr))
+            ctx.halt()
+
+    def _send_next_chunk(self, ctx: NodeContext, target: Any) -> None:
+        assert self.row is not None
+        start = self.chunks_sent * self.chunk_bits
+        ctx.send(target, ("row", start, self._pack(self.row, start)))
+        self.chunks_sent += 1
+        if self.chunks_sent >= self.chunks_needed:
+            ctx.set_output(sorted(self.spanner, key=repr))
+            ctx.halt()
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for _, payloads in inbox.items():
+            for msg in payloads:
+                if msg[0] == "row":
+                    self._unpack_into(msg[1], msg[2])
+
+        if self.kind == "y1":
+            _, i = self.node
+            self._send_next_chunk(ctx, target=("x1", i))
+            return
+
+        if self.kind == "x1":
+            _, i = self.node
+            if self.row is None and len(self.received_bits) >= self.ell:
+                a_row = [
+                    0 if (self.node, ("x2", j)) in self.out_arcs else 1
+                    for j in range(1, self.ell + 1)
+                ]
+                self.row = [a_row[j] & self.received_bits[j] for j in range(self.ell)]
+            if self.row is not None:
+                start = self.chunks_sent * self.chunk_bits
+                packed = self._pack(self.row, start)
+                for j in range(1, self.beta + 1):
+                    ctx.send(("x", i, j), ("row", start, packed))
+                self.chunks_sent += 1
+                if self.chunks_sent >= self.chunks_needed:
+                    ctx.set_output(sorted(self.spanner, key=repr))
+                    ctx.halt()
+            return
+
+        if self.kind == "x":
+            _, i, j = self.node
+            if len(self.received_bits) >= self.ell:
+                for r in range(self.ell):
+                    if self.received_bits[r] == 1:
+                        for s in range(1, self.beta + 1):
+                            self.spanner.add((self.node, ("y", r + 1, s)))
+                ctx.set_output(sorted(self.spanner, key=repr))
+                ctx.halt()
+            return
+
+
+def simulate_reduction(
+    construction: ConstructionG,
+    alpha: float = 1.0,
+    chunk_bits: int = 16,
+    seed: int | None = None,
+) -> ReductionReport:
+    """Run the reference protocol on a built G(ell, beta) and report cut traffic."""
+    graph = construction.graph
+    out_arcs = {v: graph.out_edges(v) for v in graph.nodes()}
+
+    def factory(v: Any) -> GSpannerDecisionProgram:
+        return GSpannerDecisionProgram(
+            v, construction.ell, construction.beta, out_arcs[v], chunk_bits=chunk_bits
+        )
+
+    sim = Simulator(
+        graph,
+        factory,
+        model=congest_model(graph.number_of_nodes(), enforce=True),
+        seed=seed,
+        cut=construction.bob_vertices,
+    )
+    run = sim.run()
+
+    spanner: set[Arc] = set()
+    for output in run.outputs.values():
+        if output:
+            spanner.update(tuple(a) for a in output)
+    d_in_spanner = len(spanner & set(construction.d_edges))
+
+    sparse_bound = construction.sparse_spanner_bound()
+    decided_disjoint = d_in_spanner <= alpha * sparse_bound
+    truth = construction.instance.is_disjoint()
+
+    n = graph.number_of_nodes()
+    n_bits = construction.instance.n_bits
+    cut = construction.cut_edges()
+    theorem_bound = math.sqrt(n) / (math.sqrt(max(1.0, alpha)) * math.log2(max(4, n)))
+    return ReductionReport(
+        n=n,
+        ell=construction.ell,
+        beta=construction.beta,
+        ground_truth_disjoint=truth,
+        decided_disjoint=decided_disjoint,
+        spanner_size=len(spanner),
+        d_edges_in_spanner=d_in_spanner,
+        sparse_bound=sparse_bound,
+        rounds=run.rounds,
+        cut_edges=len(cut),
+        cut_bits=run.metrics.cut_bits,
+        cut_messages=run.metrics.cut_messages,
+        disjointness_bits_needed=disjointness_lower_bound_bits(n_bits),
+        implied_rounds_lower_bound=implied_round_lower_bound(n_bits, len(cut), n),
+        theorem_rounds_lower_bound=theorem_bound,
+    )
+
+
+def deterministic_gap_threshold(construction: ConstructionG, alpha: float) -> tuple[int, float]:
+    """The (t, alpha*t) threshold pair of Lemma 2.7 for the gap-disjointness case."""
+    t = SPANNER_CONSTANT_C * construction.ell**2
+    return t, alpha * t

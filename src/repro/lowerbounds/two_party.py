@@ -1,0 +1,115 @@
+"""Two-party communication problems used by the Section 2 reductions.
+
+Alice holds ``a`` and Bob holds ``b`` (bit strings of length N).  *Set
+disjointness* asks whether some index has a_i = b_i = 1 and needs Omega(N)
+bits even with randomness (Lemma 2.1).  *Gap disjointness* only asks to
+distinguish disjoint inputs from inputs with at least N/12 common ones and
+needs Omega(N) bits deterministically (Lemma 2.5).  The reductions charge all
+communication of a simulated CONGEST algorithm that crosses the Alice/Bob
+vertex cut against these bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """A pair of equal-length bit strings for Alice and Bob."""
+
+    a: tuple[int, ...]
+    b: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.a) != len(self.b):
+            raise ValueError("input strings must have equal length")
+        if any(bit not in (0, 1) for bit in self.a + self.b):
+            raise ValueError("inputs must be 0/1 strings")
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.a)
+
+    def intersection_size(self) -> int:
+        return sum(1 for x, y in zip(self.a, self.b) if x == 1 and y == 1)
+
+    def is_disjoint(self) -> bool:
+        return self.intersection_size() == 0
+
+    def is_far_from_disjoint(self) -> bool:
+        """At least N/12 common ones (the gap-disjointness promise)."""
+        return 12 * self.intersection_size() >= self.n_bits
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_disjoint_instance(
+    n_bits: int, density: float = 0.4, seed: int | random.Random | None = None
+) -> DisjointnessInstance:
+    """Random disjoint inputs: each index gets a one for at most one player."""
+    rng = _rng(seed)
+    a, b = [], []
+    for _ in range(n_bits):
+        roll = rng.random()
+        if roll < density:
+            a.append(1)
+            b.append(0)
+        elif roll < 2 * density:
+            a.append(0)
+            b.append(1)
+        else:
+            a.append(0)
+            b.append(0)
+    return DisjointnessInstance(tuple(a), tuple(b))
+
+
+def random_intersecting_instance(
+    n_bits: int,
+    intersections: int = 1,
+    density: float = 0.4,
+    seed: int | random.Random | None = None,
+) -> DisjointnessInstance:
+    """Random inputs with exactly ``intersections`` indices set in both strings."""
+    if intersections < 1 or intersections > n_bits:
+        raise ValueError("intersections must be between 1 and n_bits")
+    rng = _rng(seed)
+    base = random_disjoint_instance(n_bits, density, rng)
+    a, b = list(base.a), list(base.b)
+    common = rng.sample(range(n_bits), intersections)
+    for i in range(n_bits):
+        if i in common:
+            a[i] = b[i] = 1
+        elif a[i] == 1 and b[i] == 1:
+            b[i] = 0
+    return DisjointnessInstance(tuple(a), tuple(b))
+
+
+def random_far_from_disjoint_instance(
+    n_bits: int, seed: int | random.Random | None = None
+) -> DisjointnessInstance:
+    """Random inputs with at least N/12 (in fact about N/6) common ones."""
+    rng = _rng(seed)
+    target = max(1, (n_bits + 5) // 6)
+    return random_intersecting_instance(n_bits, intersections=target, seed=rng)
+
+
+def disjointness_lower_bound_bits(n_bits: int) -> int:
+    """The Omega(N) communication lower bound (reported with constant 1)."""
+    return n_bits
+
+
+def implied_round_lower_bound(n_bits: int, cut_edges: int, n_vertices: int, logn_factor: int = 32) -> float:
+    """Rounds forced by the reduction: Omega(N / (cut * log n)).
+
+    A CONGEST round moves at most ``cut_edges * logn_factor * log2(n)`` bits
+    across the Alice/Bob cut, and solving (gap) disjointness needs ``n_bits``
+    bits, so any correct simulated algorithm needs at least this many rounds.
+    """
+    import math
+
+    per_round = max(1.0, cut_edges * logn_factor * math.log2(max(2, n_vertices)))
+    return n_bits / per_round

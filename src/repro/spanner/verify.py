@@ -1,0 +1,133 @@
+"""Spanner verification: is a chosen edge set a valid k-spanner?
+
+Definitions follow Section 1.5 of the paper.  An edge ``{u, v}`` (or directed
+edge ``(u, v)``) is *covered* by an edge subset ``S`` if ``S`` contains a
+path (directed path) of length at most ``k`` between ``u`` and ``v``.  A
+k-spanner of ``G`` is a subgraph covering all edges of ``G``; a k-spanner of
+a subgraph ``G'`` covers all edges of ``G'`` (possibly using edges of ``G``
+outside ``G'``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graphs.client_server import ClientServerInstance
+from repro.graphs.digraph import Arc, DiGraph
+from repro.graphs.graph import Edge, Graph, Node, edge_key
+
+
+def _spanner_subgraph(graph: Graph, spanner_edges: Iterable[Edge]) -> Graph:
+    sub = Graph()
+    sub.add_nodes_from(graph.nodes())
+    for u, v in spanner_edges:
+        if not graph.has_edge(u, v):
+            raise ValueError(f"spanner edge {(u, v)!r} is not an edge of the graph")
+        sub.add_edge(u, v, graph.weight(u, v))
+    return sub
+
+
+def _spanner_subdigraph(graph: DiGraph, spanner_arcs: Iterable[Arc]) -> DiGraph:
+    sub = DiGraph()
+    sub.add_nodes_from(graph.nodes())
+    for u, v in spanner_arcs:
+        if not graph.has_edge(u, v):
+            raise ValueError(f"spanner arc {(u, v)!r} is not an arc of the graph")
+        sub.add_edge(u, v, graph.weight(u, v))
+    return sub
+
+
+def edge_covered(spanner: Graph, u: Node, v: Node, k: int) -> bool:
+    """Is the (undirected) edge {u, v} covered by the spanner subgraph?"""
+    if k == 2:
+        # Fast path used constantly by the 2-spanner algorithms.
+        if spanner.has_edge(u, v):
+            return True
+        return bool(spanner.neighbors(u) & spanner.neighbors(v))
+    return spanner.has_path_within(u, v, k)
+
+
+def arc_covered(spanner: DiGraph, u: Node, v: Node, k: int) -> bool:
+    """Is the directed edge (u, v) covered by the spanner subgraph?"""
+    if k == 2:
+        if spanner.has_edge(u, v):
+            return True
+        return bool(spanner.successors(u) & spanner.predecessors(v))
+    return spanner.has_path_within(u, v, k)
+
+
+def uncovered_edges(
+    graph: Graph, spanner_edges: Iterable[Edge], k: int, targets: Iterable[Edge] | None = None
+) -> set[Edge]:
+    """Target edges (default: all edges) not covered by ``spanner_edges``."""
+    sub = _spanner_subgraph(graph, spanner_edges)
+    target_list = list(graph.edges()) if targets is None else [edge_key(u, v) for u, v in targets]
+    return {e for e in target_list if not edge_covered(sub, e[0], e[1], k)}
+
+
+def uncovered_arcs(
+    graph: DiGraph, spanner_arcs: Iterable[Arc], k: int, targets: Iterable[Arc] | None = None
+) -> set[Arc]:
+    """Target arcs (default: all arcs) not covered by ``spanner_arcs``."""
+    sub = _spanner_subdigraph(graph, spanner_arcs)
+    target_list = list(graph.edges()) if targets is None else list(targets)
+    return {a for a in target_list if not arc_covered(sub, a[0], a[1], k)}
+
+
+def is_k_spanner(
+    graph: Graph, spanner_edges: Iterable[Edge], k: int, targets: Iterable[Edge] | None = None
+) -> bool:
+    """True iff ``spanner_edges`` is a k-spanner of ``graph`` (or of ``targets``)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return not uncovered_edges(graph, spanner_edges, k, targets)
+
+
+def is_k_spanner_directed(
+    graph: DiGraph, spanner_arcs: Iterable[Arc], k: int, targets: Iterable[Arc] | None = None
+) -> bool:
+    """True iff ``spanner_arcs`` is a directed k-spanner of ``graph`` (or ``targets``)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return not uncovered_arcs(graph, spanner_arcs, k, targets)
+
+
+def is_client_server_2_spanner(
+    instance: ClientServerInstance, chosen_edges: Iterable[Edge]
+) -> bool:
+    """True iff ``chosen_edges`` are server edges covering every coverable client edge.
+
+    Client edges that *cannot* be covered by any server edges are excluded
+    (the paper's algorithm, Section 4.3.3, covers "all the edges that may be
+    covered by server edges").
+    """
+    chosen = {edge_key(u, v) for u, v in chosen_edges}
+    if not chosen <= instance.servers:
+        return False
+    targets = instance.coverable_clients()
+    sub = _spanner_subgraph(instance.graph, chosen)
+    return all(edge_covered(sub, u, v, 2) for u, v in targets)
+
+
+def spanner_cost(graph: Graph | DiGraph, edges: Iterable) -> float:
+    """Total weight of an edge set (equals its cardinality for unit weights)."""
+    return sum(graph.weight(u, v) for u, v in edges)
+
+
+def stretch_of(graph: Graph, spanner_edges: Iterable[Edge]) -> float:
+    """The actual stretch of a spanner: max over edges of the spanner distance.
+
+    Useful in tests to show that the produced 2-spanners frequently achieve
+    stretch exactly 2 (and never more).
+    """
+    sub = _spanner_subgraph(graph, spanner_edges)
+    worst = 0
+    for u, v in graph.edges():
+        if sub.has_edge(u, v):
+            worst = max(worst, 1)
+            continue
+        dist = sub.bfs_distances(u).get(v)
+        if dist is None:
+            return float("inf")
+        worst = max(worst, dist)
+    return float(worst)

@@ -1,0 +1,172 @@
+"""Tests for Dinic max-flow and the densest-subgraph solvers."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    MaxFlowNetwork,
+    densest_subgraph_exact,
+    densest_subgraph_peeling,
+    max_flow_min_cut,
+    subgraph_density,
+)
+
+
+def brute_force_densest(nodes, edges, weights=None):
+    """Reference solver: enumerate all non-empty subsets."""
+    best = Fraction(-1)
+    best_set = set()
+    for size in range(1, len(nodes) + 1):
+        for subset in combinations(nodes, size):
+            d = subgraph_density(subset, edges, weights)
+            if d > best:
+                best = d
+                best_set = set(subset)
+    return best_set, best
+
+
+class TestDinic:
+    def test_single_edge(self):
+        value, cut = max_flow_min_cut([("s", "t", 5)], "s", "t")
+        assert value == 5
+        assert cut == {"s"}
+
+    def test_classic_network(self):
+        edges = [
+            ("s", "a", 10),
+            ("s", "b", 10),
+            ("a", "b", 2),
+            ("a", "t", 4),
+            ("b", "t", 9),
+        ]
+        value, _ = max_flow_min_cut(edges, "s", "t")
+        assert value == 13
+
+    def test_disconnected_sink(self):
+        value, cut = max_flow_min_cut([("s", "a", 3)], "s", "t")
+        assert value == 0
+        assert "a" in cut
+
+    def test_fraction_capacities(self):
+        edges = [("s", "a", Fraction(1, 3)), ("a", "t", Fraction(1, 2))]
+        value, _ = max_flow_min_cut(edges, "s", "t")
+        assert value == Fraction(1, 3)
+
+    def test_parallel_paths(self):
+        edges = [("s", "a", 1), ("a", "t", 1), ("s", "b", 1), ("b", "t", 1)]
+        value, _ = max_flow_min_cut(edges, "s", "t")
+        assert value == 2
+
+    def test_source_equals_sink_rejected(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            net.max_flow("s", "s")
+
+    def test_negative_capacity_rejected(self):
+        net = MaxFlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge("a", "b", -1)
+
+
+class TestDensestSubgraphExact:
+    def test_triangle_with_pendant(self):
+        nodes = [1, 2, 3, 4]
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4)]
+        subset, density = densest_subgraph_exact(nodes, edges)
+        assert density == Fraction(1)
+        assert {1, 2, 3} <= subset
+
+    def test_clique_plus_sparse_tail(self):
+        # K4 (density 3/2) attached to a long path.
+        nodes = list(range(10))
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(i, i + 1) for i in range(4, 9)] + [(3, 4)]
+        subset, density = densest_subgraph_exact(nodes, edges)
+        assert subset == {0, 1, 2, 3}
+        assert density == Fraction(3, 2)
+
+    def test_no_edges(self):
+        subset, density = densest_subgraph_exact([1, 2, 3], [])
+        assert density == 0
+        assert len(subset) == 1
+
+    def test_empty_input(self):
+        subset, density = densest_subgraph_exact([], [])
+        assert subset == set()
+        assert density == 0
+
+    def test_node_weights_shift_optimum(self):
+        # Unweighted optimum is the triangle; making its nodes heavy moves the
+        # optimum to the light pair of multiplicity-heavy structure.
+        nodes = ["a", "b", "c", "d", "e"]
+        edges = [("a", "b"), ("b", "c"), ("a", "c"), ("d", "e")]
+        heavy = {"a": Fraction(10), "b": Fraction(10), "c": Fraction(10), "d": Fraction(1), "e": Fraction(1)}
+        subset, density = densest_subgraph_exact(nodes, edges, heavy)
+        assert subset == {"d", "e"}
+        assert density == Fraction(1, 2)
+
+    def test_zero_weight_nodes_allowed_without_internal_edges(self):
+        nodes = ["a", "b", "z"]
+        edges = [("a", "z"), ("a", "b")]
+        weights = {"a": Fraction(1), "b": Fraction(1), "z": Fraction(0)}
+        subset, density = densest_subgraph_exact(nodes, edges, weights)
+        assert "z" in subset
+        assert density == Fraction(2, 2)
+
+    def test_zero_weight_edge_inside_rejected(self):
+        with pytest.raises(ValueError):
+            densest_subgraph_exact(
+                ["a", "b"], [("a", "b")], {"a": Fraction(0), "b": Fraction(0)}
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            densest_subgraph_exact(["a"], [], {"a": Fraction(-1)})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=2**20))
+    def test_matches_brute_force_on_random_graphs(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = [(a, b) for a in range(n) for b in range(a + 1, n) if rng.random() < 0.5]
+        subset, density = densest_subgraph_exact(nodes, edges)
+        _, best = brute_force_densest(nodes, edges)
+        assert density == best
+        assert subgraph_density(subset, edges) == best
+
+
+class TestDensestSubgraphPeeling:
+    def test_triangle_found(self):
+        nodes = [1, 2, 3, 4, 5]
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]
+        subset, density = densest_subgraph_peeling(nodes, edges)
+        assert density >= Fraction(1, 2) * Fraction(1)  # 2-approximation of 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=2**20))
+    def test_within_factor_two_of_optimum(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = [(a, b) for a in range(n) for b in range(a + 1, n) if rng.random() < 0.5]
+        _, approx = densest_subgraph_peeling(nodes, edges)
+        _, best = brute_force_densest(nodes, edges)
+        assert approx * 2 >= best
+
+    def test_dispatch(self):
+        from repro.flow import densest_subgraph
+
+        nodes = [1, 2, 3]
+        edges = [(1, 2)]
+        assert densest_subgraph(nodes, edges, method="exact")[1] == Fraction(1, 2)
+        assert densest_subgraph(nodes, edges, method="peeling")[1] == Fraction(1, 2)
+        with pytest.raises(ValueError):
+            densest_subgraph(nodes, edges, method="bogus")

@@ -1,0 +1,176 @@
+"""Unit tests for the graph generators (structure, determinism, parameters)."""
+
+import pytest
+
+from repro.graphs import (
+    assign_random_weights,
+    assign_weights_from_choices,
+    barabasi_albert_graph,
+    bidirect,
+    cluster_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    orient_randomly,
+    overlapping_stars_graph,
+    path_graph,
+    random_digraph,
+    random_regular_graph,
+    random_tournament,
+    star_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4
+        assert g.is_connected()
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.number_of_edges() == 6
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.number_of_edges() == 7
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+        assert g.max_degree() == 5
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 12
+        # Bipartite: adjacent vertices never share a neighbour.
+        for u, v in g.edges():
+            assert not (g.neighbors(u) & g.neighbors(v))
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+        assert g.is_connected()
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.number_of_nodes() == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+
+class TestRandomGenerators:
+    def test_gnp_bounds_and_determinism(self):
+        g1 = gnp_random_graph(20, 0.3, seed=5)
+        g2 = gnp_random_graph(20, 0.3, seed=5)
+        assert g1 == g2
+        assert g1.number_of_nodes() == 20
+        assert 0 <= g1.number_of_edges() <= 190
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert gnp_random_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(15, 30, seed=2)
+        assert g.number_of_edges() == 30
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 10)
+
+    def test_connected_gnp_is_connected(self):
+        for seed in range(5):
+            g = connected_gnp_graph(25, 0.05, seed=seed)
+            assert g.is_connected()
+
+    def test_random_regular(self):
+        g = random_regular_graph(12, 3, seed=3)
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(50, 2, seed=4)
+        assert g.number_of_nodes() == 50
+        assert g.is_connected()
+        assert g.max_degree() >= 4
+
+    def test_cluster_graph_connected(self):
+        g = cluster_graph(3, 5, seed=6)
+        assert g.number_of_nodes() == 15
+        assert g.is_connected()
+
+    def test_overlapping_stars(self):
+        g = overlapping_stars_graph(4, 5, 2, seed=7)
+        assert g.is_connected()
+        assert g.number_of_nodes() > 4
+
+
+class TestDirectedGenerators:
+    def test_random_digraph(self):
+        d = random_digraph(10, 0.5, seed=1)
+        assert d.number_of_nodes() == 10
+        assert all(u != v for u, v in d.edges())
+
+    def test_tournament_has_one_arc_per_pair(self):
+        d = random_tournament(9, seed=2)
+        assert d.number_of_edges() == 36
+        for u, v in d.edges():
+            assert not d.has_edge(v, u)
+
+    def test_orient_randomly_preserves_count(self):
+        g = gnp_random_graph(12, 0.4, seed=3)
+        d = orient_randomly(g, seed=4)
+        assert d.number_of_edges() == g.number_of_edges()
+
+    def test_bidirect_doubles(self):
+        g = gnp_random_graph(12, 0.4, seed=5)
+        d = bidirect(g)
+        assert d.number_of_edges() == 2 * g.number_of_edges()
+
+
+class TestWeightAssignment:
+    def test_assign_random_weights_range(self):
+        g = gnp_random_graph(10, 0.5, seed=1)
+        assign_random_weights(g, 2.0, 5.0, seed=2)
+        assert all(2.0 <= g.weight(u, v) <= 5.0 for u, v in g.edges())
+
+    def test_assign_integer_weights(self):
+        g = gnp_random_graph(10, 0.5, seed=1)
+        assign_random_weights(g, 0, 3, seed=2, integer=True)
+        assert all(g.weight(u, v) == int(g.weight(u, v)) for u, v in g.edges())
+
+    def test_assign_from_choices(self):
+        g = gnp_random_graph(10, 0.5, seed=1)
+        assign_weights_from_choices(g, [1.0, 10.0], seed=3)
+        assert all(g.weight(u, v) in (1.0, 10.0) for u, v in g.edges())
+
+    def test_assign_from_empty_choices_raises(self):
+        g = gnp_random_graph(5, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            assign_weights_from_choices(g, [])
+
+    def test_invalid_range(self):
+        g = gnp_random_graph(5, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            assign_random_weights(g, 5.0, 1.0)

@@ -1,0 +1,197 @@
+"""Unit tests for the Graph and DiGraph containers."""
+
+import pytest
+
+from repro.graphs import DiGraph, Graph, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_integers(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_orders_tuples(self):
+        assert edge_key(("b", 1), ("a", 2)) == (("a", 2), ("b", 1))
+
+    def test_mixed_unorderable_types_are_normalised_consistently(self):
+        assert edge_key("x", 3) == edge_key(3, "x")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(1, 1)
+
+
+class TestGraphBasics:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.number_of_nodes() == 0
+        assert g.number_of_edges() == 0
+        assert g.is_connected()
+        assert list(g.edges()) == []
+
+    def test_add_edge_adds_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.number_of_edges() == 1
+
+    def test_add_edge_rejects_self_loop(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_duplicate_edge_not_double_counted(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.number_of_edges() == 1
+
+    def test_constructor_from_edges(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.number_of_edges() == 2
+        assert g.neighbors(2) == {1, 3}
+
+    def test_weights_default_and_set(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.weight(1, 2) == 1.0
+        g.set_weight(1, 2, 3.5)
+        assert g.weight(2, 1) == 3.5
+        assert g.total_weight() == 3.5
+
+    def test_weight_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.weight(1, 3)
+
+    def test_remove_edge_and_node(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        g.remove_node(3)
+        assert not g.has_node(3)
+        assert g.number_of_edges() == 0
+        assert g.has_node(1)
+
+    def test_remove_missing_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 3)
+        with pytest.raises(KeyError):
+            g.remove_node(7)
+
+    def test_degree_and_max_degree(self):
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+        assert g.max_degree() == 3
+
+    def test_incident_edges_canonical(self):
+        g = Graph([(2, 1), (2, 5)])
+        assert g.incident_edges(2) == {(1, 2), (2, 5)}
+
+    def test_edges_reported_once(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_copy_is_independent(self):
+        g = Graph([(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert g != h
+
+    def test_equality(self):
+        assert Graph([(1, 2)]) == Graph([(2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+
+class TestGraphStructure:
+    def test_subgraph_induced(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph({1, 2, 3})
+        assert sub.edge_set() == {(1, 2), (2, 3)}
+        assert sub.number_of_nodes() == 3
+
+    def test_edge_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = g.edge_subgraph([(2, 3)])
+        assert sub.edge_set() == {(2, 3)}
+
+    def test_bfs_distances(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert g.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert g.bfs_distances(0, max_depth=2) == {0: 0, 1: 1, 2: 2}
+
+    def test_ball(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert g.ball(1, 1) == {0, 1, 2}
+
+    def test_connectivity_and_components(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert not g.is_connected()
+        comps = g.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_has_path_within(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert g.has_path_within(0, 2, 2)
+        assert not g.has_path_within(0, 3, 2)
+        assert g.has_path_within(0, 0, 0)
+
+
+class TestDiGraph:
+    def test_arcs_are_directed(self):
+        d = DiGraph([(1, 2)])
+        assert d.has_edge(1, 2)
+        assert not d.has_edge(2, 1)
+        assert d.number_of_edges() == 1
+
+    def test_successors_predecessors_neighbors(self):
+        d = DiGraph([(1, 2), (3, 1)])
+        assert d.successors(1) == {2}
+        assert d.predecessors(1) == {3}
+        assert d.neighbors(1) == {2, 3}
+        assert d.degree(1) == 2
+
+    def test_in_out_degree(self):
+        d = DiGraph([(1, 2), (1, 3), (4, 1)])
+        assert d.out_degree(1) == 2
+        assert d.in_degree(1) == 1
+
+    def test_remove_node_cleans_both_directions(self):
+        d = DiGraph([(1, 2), (2, 3), (3, 1)])
+        d.remove_node(2)
+        assert d.edge_set() == {(3, 1)}
+
+    def test_directed_bfs_follows_arcs(self):
+        d = DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert d.bfs_distances(0) == {0: 0, 1: 1, 2: 2}
+        assert d.has_path_within(0, 2, 2)
+        assert not d.has_path_within(2, 1, 1)
+
+    def test_to_undirected(self):
+        d = DiGraph([(1, 2), (2, 1), (2, 3)])
+        g = d.to_undirected()
+        assert g.edge_set() == {(1, 2), (2, 3)}
+
+    def test_weakly_connected(self):
+        d = DiGraph([(1, 2), (3, 2)])
+        assert d.is_weakly_connected()
+        d.add_node(9)
+        assert not d.is_weakly_connected()
+
+    def test_incident_edges(self):
+        d = DiGraph([(1, 2), (3, 1)])
+        assert d.incident_edges(1) == {(1, 2), (3, 1)}
+
+    def test_edge_subgraph_and_copy(self):
+        d = DiGraph([(1, 2), (2, 3)])
+        sub = d.edge_subgraph([(1, 2)])
+        assert sub.edge_set() == {(1, 2)}
+        c = d.copy()
+        c.remove_edge(1, 2)
+        assert d.has_edge(1, 2)

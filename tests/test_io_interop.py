@@ -1,0 +1,88 @@
+"""Round-trip tests for edge-list I/O and networkx interop."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    assign_random_weights,
+    complete_bipartite_graph,
+    connected_gnp_graph,
+    from_networkx,
+    random_digraph,
+    read_edge_list,
+    to_networkx,
+    write_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_undirected_roundtrip(self, tmp_path):
+        g = connected_gnp_graph(12, 0.3, seed=1)
+        assign_random_weights(g, 1, 5, seed=2)
+        path = tmp_path / "g.jsonl"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert isinstance(back, Graph)
+        assert back.edge_set() == g.edge_set()
+        assert all(back.weight(u, v) == g.weight(u, v) for u, v in g.edges())
+
+    def test_directed_roundtrip(self, tmp_path):
+        d = random_digraph(8, 0.4, seed=3)
+        path = tmp_path / "d.jsonl"
+        write_edge_list(d, path)
+        back = read_edge_list(path)
+        assert isinstance(back, DiGraph)
+        assert back.edge_set() == d.edge_set()
+
+    def test_tuple_node_labels_roundtrip(self, tmp_path):
+        g = complete_bipartite_graph(2, 3)
+        path = tmp_path / "bip.jsonl"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.edge_set() == g.edge_set()
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph([(1, 2)])
+        g.add_node(99)
+        path = tmp_path / "iso.jsonl"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.has_node(99)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestNetworkxInterop:
+    def test_to_networkx_undirected(self):
+        g = connected_gnp_graph(10, 0.4, seed=4)
+        nxg = to_networkx(g)
+        assert isinstance(nxg, nx.Graph)
+        assert nxg.number_of_edges() == g.number_of_edges()
+
+    def test_to_networkx_directed(self):
+        d = random_digraph(8, 0.3, seed=5)
+        nxd = to_networkx(d)
+        assert isinstance(nxd, nx.DiGraph)
+        assert nxd.number_of_edges() == d.number_of_edges()
+
+    def test_roundtrip_with_weights(self):
+        g = connected_gnp_graph(10, 0.4, seed=6)
+        assign_random_weights(g, 1, 9, seed=7)
+        back = from_networkx(to_networkx(g))
+        assert back.edge_set() == g.edge_set()
+        assert all(back.weight(u, v) == g.weight(u, v) for u, v in g.edges())
+
+    def test_from_networkx_default_weight(self):
+        nxg = nx.path_graph(4)
+        g = from_networkx(nxg)
+        assert g.weight(0, 1) == 1.0
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))

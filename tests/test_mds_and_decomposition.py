@@ -1,0 +1,182 @@
+"""Tests for the MDS algorithm (Section 5), network decomposition and the
+(1+eps) LOCAL algorithm (Section 6)."""
+
+import math
+
+import pytest
+
+from repro.baselines import exact_dominating_set, greedy_dominating_set
+from repro.core import (
+    MDSOptions,
+    decomposition_round_bound,
+    network_decomposition,
+    one_plus_eps_spanner,
+    radius_budget,
+    run_mds,
+)
+from repro.graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    grid_graph,
+    is_dominating_set,
+    log_max_degree,
+    path_graph,
+    power_graph,
+    star_graph,
+)
+from repro.spanner import is_k_spanner, minimum_k_spanner_exact
+
+
+class TestMDSValidity:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(10),
+            cycle_graph(9),
+            star_graph(8),
+            complete_graph(7),
+            grid_graph(4, 5),
+            connected_gnp_graph(30, 0.15, seed=1),
+            barabasi_albert_graph(40, 2, seed=2),
+        ],
+        ids=["path", "cycle", "star", "clique", "grid", "gnp", "ba"],
+    )
+    def test_output_dominates(self, graph):
+        result = run_mds(graph, seed=7)
+        assert is_dominating_set(graph, result.dominators)
+
+    def test_isolated_vertices_dominate_themselves(self):
+        g = path_graph(3)
+        g.add_node(99)
+        result = run_mds(g, seed=1)
+        assert 99 in result.dominators
+        assert is_dominating_set(g, result.dominators)
+
+    def test_star_picks_single_center(self):
+        g = star_graph(20)
+        result = run_mds(g, seed=3)
+        assert is_dominating_set(g, result.dominators)
+        assert result.size <= 2
+
+    def test_congest_messages_fit_budget(self):
+        g = connected_gnp_graph(50, 0.1, seed=4)
+        result = run_mds(g, seed=5)
+        assert result.metrics.bandwidth_violations == 0
+
+    def test_determinism(self):
+        g = connected_gnp_graph(25, 0.2, seed=6)
+        assert run_mds(g, seed=9).dominators == run_mds(g, seed=9).dominators
+
+    def test_options_respected(self):
+        g = connected_gnp_graph(20, 0.2, seed=7)
+        result = run_mds(g, seed=8, options=MDSOptions(max_iterations=500))
+        assert is_dominating_set(g, result.dominators)
+
+
+class TestMDSQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_within_log_delta_of_exact(self, seed):
+        g = connected_gnp_graph(16, 0.3, seed=seed)
+        result = run_mds(g, seed=seed)
+        opt = len(exact_dominating_set(g))
+        envelope = 8 * log_max_degree(g) + 2
+        assert result.size <= envelope * opt
+
+    def test_comparable_to_greedy(self):
+        g = connected_gnp_graph(60, 0.08, seed=9)
+        distributed = run_mds(g, seed=10).size
+        greedy = len(greedy_dominating_set(g))
+        assert distributed <= 6 * greedy + 4
+
+    def test_rounds_polylog_envelope(self):
+        for seed in range(3):
+            g = connected_gnp_graph(40, 0.12, seed=seed)
+            result = run_mds(g, seed=seed)
+            n, delta = g.number_of_nodes(), g.max_degree()
+            envelope = 12 * max(1, math.log2(n)) * max(1, math.log2(delta)) + 12
+            assert result.iterations <= envelope
+
+
+class TestNetworkDecomposition:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_partition_covers_all_vertices(self, seed):
+        g = connected_gnp_graph(40, 0.1, seed=seed)
+        dec = network_decomposition(g, seed=seed)
+        assert set(dec.color_of) == set(g.nodes())
+        assert set(dec.cluster_of) == set(g.nodes())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_color_clusters_nonadjacent(self, seed):
+        g = connected_gnp_graph(40, 0.1, seed=seed)
+        dec = network_decomposition(g, seed=seed)
+        assert dec.same_color_clusters_nonadjacent(g)
+
+    def test_number_of_colors_logarithmic(self):
+        g = connected_gnp_graph(80, 0.06, seed=5)
+        dec = network_decomposition(g, seed=6)
+        assert dec.num_colors <= 10 * math.log2(g.number_of_nodes()) + 10
+
+    def test_cluster_diameter_logarithmic(self):
+        g = grid_graph(8, 8)
+        dec = network_decomposition(g, seed=7)
+        assert dec.max_cluster_diameter <= 12 * math.log2(g.number_of_nodes()) + 12
+
+    def test_clusters_helper(self):
+        g = path_graph(10)
+        dec = network_decomposition(g, seed=8)
+        clusters = dec.clusters()
+        assert sum(len(m) for m in clusters.values()) == 10
+
+    def test_round_bound_monotone(self):
+        assert decomposition_round_bound(1000) >= decomposition_round_bound(10)
+
+
+class TestOnePlusEps:
+    def test_radius_budget_shrinks_with_eps(self):
+        assert radius_budget(100, 1.0, 2) < radius_budget(100, 0.1, 2)
+
+    @pytest.mark.parametrize("epsilon", [1.0, 0.5, 0.25])
+    def test_ratio_within_one_plus_eps(self, epsilon):
+        g = connected_gnp_graph(11, 0.4, seed=3)
+        result = one_plus_eps_spanner(g, k=2, epsilon=epsilon, seed=4)
+        assert is_k_spanner(g, result.edges, 2)
+        opt = len(minimum_k_spanner_exact(g, 2))
+        assert len(result.edges) <= math.ceil((1 + epsilon) * opt) + 1
+
+    def test_k3_spanner(self):
+        g = connected_gnp_graph(10, 0.4, seed=5)
+        result = one_plus_eps_spanner(g, k=3, epsilon=0.5, seed=6)
+        assert is_k_spanner(g, result.edges, 3)
+        opt = len(minimum_k_spanner_exact(g, 3))
+        assert len(result.edges) <= math.ceil(1.5 * opt) + 1
+
+    def test_weighted_mode(self):
+        from repro.graphs import assign_random_weights
+
+        g = connected_gnp_graph(9, 0.45, seed=7)
+        assign_random_weights(g, 1, 5, seed=8, integer=True)
+        result = one_plus_eps_spanner(g, k=2, epsilon=0.5, seed=9, use_weights=True)
+        assert is_k_spanner(g, result.edges, 2)
+
+    def test_rounds_estimate_polylog(self):
+        g = connected_gnp_graph(12, 0.4, seed=10)
+        result = one_plus_eps_spanner(g, k=2, epsilon=0.5, seed=11)
+        n = g.number_of_nodes()
+        assert result.rounds_estimate <= 10_000 * (math.log2(n) + 1) ** 3
+
+    def test_invalid_parameters(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            one_plus_eps_spanner(g, k=2, epsilon=0.0)
+        with pytest.raises(ValueError):
+            one_plus_eps_spanner(g, k=0, epsilon=0.5)
+
+    def test_power_graph_consistency(self):
+        # The r used by the algorithm always reaches the whole graph on tiny inputs,
+        # so the decomposition runs on (a supergraph of) the complete graph.
+        g = path_graph(6)
+        result = one_plus_eps_spanner(g, k=2, epsilon=0.5, seed=12)
+        p = power_graph(g, result.r)
+        assert p.number_of_edges() >= g.number_of_edges()

@@ -1,0 +1,206 @@
+"""Unit tests for the LOCAL / CONGEST round simulator."""
+
+import pytest
+
+from repro.distributed import (
+    BandwidthExceededError,
+    FunctionProgram,
+    NodeProgram,
+    NotANeighborError,
+    RoundLimitExceededError,
+    Simulator,
+    congest_budget_bits,
+    congest_model,
+    estimate_bits,
+    local_model,
+    run_program,
+)
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+
+
+class FloodMin(NodeProgram):
+    """Every node learns the minimum identifier in its connected component."""
+
+    def __init__(self):
+        self.best = None
+
+    def on_start(self, ctx):
+        self.best = ctx.node_id
+        ctx.broadcast(self.best)
+
+    def on_round(self, ctx, inbox):
+        improved = False
+        for _, payloads in inbox.items():
+            for value in payloads:
+                if value < self.best:
+                    self.best = value
+                    improved = True
+        if improved:
+            ctx.broadcast(self.best)
+        else:
+            ctx.set_output(self.best)
+            ctx.halt()
+
+
+class TestSimulatorSemantics:
+    def test_flood_min_on_path(self):
+        g = path_graph(6)
+        result = run_program(g, lambda v: FloodMin(), seed=1)
+        assert result.completed
+        assert all(value == 0 for value in result.outputs.values())
+
+    def test_round_count_scales_with_diameter(self):
+        short = run_program(path_graph(4), lambda v: FloodMin())
+        long = run_program(path_graph(16), lambda v: FloodMin())
+        assert long.rounds > short.rounds
+
+    def test_messages_counted(self):
+        g = cycle_graph(5)
+        result = run_program(g, lambda v: FloodMin())
+        assert result.metrics.messages_sent >= 10
+        assert result.metrics.bits_sent > 0
+
+    def test_send_to_non_neighbor_raises(self):
+        def on_start(ctx):
+            ctx.send("not-there", 1)
+
+        g = path_graph(3)
+        with pytest.raises(NotANeighborError):
+            run_program(g, lambda v: FunctionProgram(on_start, lambda ctx, inbox: None))
+
+    def test_round_limit(self):
+        class Forever(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast(0)
+
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(0)
+
+        with pytest.raises(RoundLimitExceededError):
+            Simulator(path_graph(3), lambda v: Forever()).run(max_rounds=5)
+
+    def test_round_limit_soft(self):
+        class Forever(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast(0)
+
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(0)
+
+        result = Simulator(path_graph(3), lambda v: Forever()).run(
+            max_rounds=5, raise_on_limit=False
+        )
+        assert not result.completed
+        assert result.rounds == 5
+
+    def test_halted_nodes_receive_nothing(self):
+        class HaltImmediately(NodeProgram):
+            def on_start(self, ctx):
+                ctx.set_output("done")
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):  # pragma: no cover - never called
+                raise AssertionError("halted node was woken up")
+
+        result = run_program(path_graph(4), lambda v: HaltImmediately())
+        assert result.completed
+        assert set(result.outputs.values()) == {"done"}
+
+    def test_per_node_randomness_is_seeded(self):
+        class Roll(NodeProgram):
+            def on_start(self, ctx):
+                ctx.set_output(ctx.rng.randint(0, 10**9))
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        g = star_graph(5)
+        a = run_program(g, lambda v: Roll(), seed=42).outputs
+        b = run_program(g, lambda v: Roll(), seed=42).outputs
+        c = run_program(g, lambda v: Roll(), seed=43).outputs
+        assert a == b
+        assert a != c
+
+    def test_cut_bit_accounting(self):
+        g = path_graph(4)  # cut between {0,1} and {2,3} is the single edge (1,2)
+        result = run_program(g, lambda v: FloodMin(), cut={0, 1})
+        assert result.metrics.cut_bits > 0
+        assert result.metrics.cut_bits < result.metrics.bits_sent
+
+    def test_isolated_node_program(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        g.add_edge(1, 2)
+        g.add_node(99)
+
+        class OutputDegree(NodeProgram):
+            def on_start(self, ctx):
+                ctx.set_output(len(ctx.neighbors))
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        result = run_program(g, lambda v: OutputDegree())
+        assert result.outputs[99] == 0
+
+
+class TestCongestEnforcement:
+    def test_small_messages_pass(self):
+        g = path_graph(6)
+        result = run_program(g, lambda v: FloodMin(), model=congest_model(6))
+        assert result.completed
+        assert result.metrics.bandwidth_violations == 0
+
+    def test_oversized_message_raises(self):
+        payload = list(range(10_000))
+
+        def on_start(ctx):
+            ctx.broadcast(payload)
+
+        g = path_graph(4)
+        with pytest.raises(BandwidthExceededError):
+            run_program(
+                g,
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=congest_model(4),
+            )
+
+    def test_oversized_message_recorded_when_not_enforced(self):
+        payload = list(range(10_000))
+
+        def on_start(ctx):
+            ctx.broadcast(payload)
+            ctx.halt()
+
+        g = path_graph(4)
+        result = run_program(
+            g,
+            lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+            model=congest_model(4, enforce=False),
+        )
+        assert result.metrics.bandwidth_violations > 0
+
+    def test_local_model_unbounded(self):
+        assert local_model(100).bandwidth_bits is None
+        assert congest_model(100).bandwidth_bits == congest_budget_bits(100)
+
+
+class TestEncoding:
+    def test_scalar_sizes(self):
+        assert estimate_bits(None) == 1
+        assert estimate_bits(True) == 1
+        assert estimate_bits(0) == 2
+        assert estimate_bits(255) == 9
+        assert estimate_bits(3.14) == 64
+        assert estimate_bits("ab") == 16
+
+    def test_container_sizes_grow(self):
+        assert estimate_bits([1, 2, 3]) > estimate_bits([1])
+        assert estimate_bits({"a": 1}) > estimate_bits({})
+
+    def test_budget_grows_with_n(self):
+        assert congest_budget_bits(1_000) > congest_budget_bits(10)
+        assert congest_budget_bits(2) == 32

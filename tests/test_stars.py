@@ -1,0 +1,141 @@
+"""Tests for star densities, rounded densities and densest-star computations."""
+
+from fractions import Fraction
+from itertools import chain, combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import complete_graph, connected_gnp_graph, edge_key, star_graph
+from repro.spanner import (
+    Star,
+    densest_directed_star_approx,
+    densest_star,
+    densest_star_of_vertex,
+    rounded_up_power_of_two,
+    spanned_edges,
+    star_density,
+)
+from repro.graphs.generators import random_digraph
+
+
+class TestStarObject:
+    def test_edges_and_size(self):
+        s = Star(center=0, leaves=frozenset({1, 2, 3}))
+        assert s.edges() == {(0, 1), (0, 2), (0, 3)}
+        assert s.size() == 3
+
+    def test_spans(self):
+        s = Star(center=0, leaves=frozenset({1, 2}))
+        assert s.spans(edge_key(1, 2))
+        assert not s.spans(edge_key(1, 3))
+
+    def test_weight(self):
+        g = star_graph(3)
+        g.set_weight(0, 1, 5.0)
+        s = Star(center=0, leaves=frozenset({1, 2}))
+        assert s.weight(g) == 6.0
+
+
+class TestDensity:
+    def test_spanned_edges(self):
+        uncovered = {(1, 2), (2, 3), (1, 4)}
+        assert spanned_edges({1, 2, 3}, uncovered) == {(1, 2), (2, 3)}
+
+    def test_unweighted_density(self):
+        uncovered = {(1, 2), (2, 3), (1, 3)}
+        assert star_density({1, 2, 3}, uncovered) == Fraction(1)
+        assert star_density({1, 2}, uncovered) == Fraction(1, 2)
+        assert star_density(set(), uncovered) == 0
+
+    def test_weighted_density(self):
+        uncovered = {(1, 2)}
+        weights = {1: Fraction(2), 2: Fraction(2)}
+        assert star_density({1, 2}, uncovered, weights) == Fraction(1, 4)
+
+    def test_rounded_up_power_of_two_values(self):
+        assert rounded_up_power_of_two(Fraction(0)) == 0
+        assert rounded_up_power_of_two(Fraction(1)) == 2
+        assert rounded_up_power_of_two(Fraction(3, 2)) == 2
+        assert rounded_up_power_of_two(Fraction(5)) == 8
+        assert rounded_up_power_of_two(Fraction(1, 3)) == Fraction(1, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(1000)))
+    def test_rounded_density_bracket(self, value):
+        rounded = rounded_up_power_of_two(value)
+        assert rounded > value
+        assert rounded / 2 <= value
+
+
+def brute_force_densest_star(pool, candidate_edges):
+    best = Fraction(0)
+    subsets = chain.from_iterable(combinations(sorted(pool, key=repr), r) for r in range(1, len(pool) + 1))
+    for subset in subsets:
+        best = max(best, star_density(set(subset), candidate_edges))
+    return best
+
+
+class TestDensestStar:
+    def test_full_star_of_clique_center(self):
+        g = complete_graph(5)
+        leaves, density = densest_star_of_vertex(g, 0, g.edge_set())
+        assert leaves == frozenset({1, 2, 3, 4})
+        assert density == Fraction(6, 4)
+
+    def test_star_graph_center_has_zero_density(self):
+        g = star_graph(6)
+        _, density = densest_star_of_vertex(g, 0, g.edge_set())
+        assert density == 0
+
+    def test_empty_pool(self):
+        leaves, density = densest_star(set(), set())
+        assert leaves == frozenset()
+        assert density == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_matches_brute_force(self, seed):
+        g = connected_gnp_graph(8, 0.45, seed=seed)
+        uncovered = g.edge_set()
+        for v in list(g.nodes())[:4]:
+            nbrs = g.neighbors(v)
+            candidate = {e for e in uncovered if e[0] in nbrs and e[1] in nbrs}
+            _, density = densest_star(nbrs, candidate)
+            assert density == brute_force_densest_star(nbrs, candidate)
+
+    def test_peeling_mode_within_factor_two(self):
+        g = connected_gnp_graph(12, 0.4, seed=9)
+        uncovered = g.edge_set()
+        for v in list(g.nodes())[:5]:
+            nbrs = g.neighbors(v)
+            candidate = {e for e in uncovered if e[0] in nbrs and e[1] in nbrs}
+            _, exact = densest_star(nbrs, candidate, method="exact")
+            _, approx = densest_star(nbrs, candidate, method="peeling")
+            assert approx * 2 >= exact
+
+
+class TestDirectedStar:
+    def test_directed_density_within_factor_two(self):
+        d = random_digraph(10, 0.4, seed=3)
+        uncovered = d.edge_set()
+        for v in list(d.nodes())[:5]:
+            spannable = {
+                (u, w)
+                for (u, w) in uncovered
+                if d.has_edge(u, v) and d.has_edge(v, w)
+            }
+            result = densest_directed_star_approx(d, v, uncovered)
+            # Claim 4.10: the directed density of the chosen star is at least
+            # half the undirected density (which upper-bounds the optimum).
+            assert result.directed_density * 2 >= result.undirected_density
+            if not spannable:
+                assert result.directed_density == 0
+
+    def test_arcs_use_existing_directions_only(self):
+        d = random_digraph(8, 0.5, seed=4)
+        for v in list(d.nodes())[:4]:
+            result = densest_directed_star_approx(d, v, d.edge_set())
+            for u, w in result.arcs:
+                assert d.has_edge(u, w)
+                assert v in (u, w)

@@ -1,0 +1,186 @@
+"""Tests for the distributed minimum 2-spanner algorithm (Theorem 1.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TwoSpannerOptions, UnweightedVariant, run_two_spanner
+from repro.core.two_spanner import ROUNDS_PER_ITERATION
+from repro.graphs import (
+    barabasi_albert_graph,
+    cluster_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    log_m_over_n,
+    overlapping_stars_graph,
+    path_graph,
+    star_graph,
+)
+from repro.spanner import is_k_spanner, lp_lower_bound_2spanner, minimum_k_spanner_exact
+
+SMALL_GRAPHS = [
+    ("path", path_graph(8)),
+    ("cycle", cycle_graph(9)),
+    ("star", star_graph(7)),
+    ("clique", complete_graph(8)),
+    ("bipartite", complete_bipartite_graph(3, 5)),
+    ("gnp-sparse", connected_gnp_graph(18, 0.2, seed=1)),
+    ("gnp-dense", connected_gnp_graph(14, 0.5, seed=2)),
+    ("cluster", cluster_graph(3, 5, seed=3)),
+    ("overlap-stars", overlapping_stars_graph(3, 5, 2, seed=4)),
+    ("ba", barabasi_albert_graph(20, 2, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,graph", SMALL_GRAPHS, ids=[n for n, _ in SMALL_GRAPHS])
+class TestValidity:
+    def test_output_is_2_spanner(self, name, graph):
+        result = run_two_spanner(graph, seed=11)
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_output_edges_exist_in_graph(self, name, graph):
+        result = run_two_spanner(graph, seed=11)
+        assert result.edges <= graph.edge_set()
+
+    def test_no_selection_fallbacks(self, name, graph):
+        # Claim 4.4 says the fallback branch of the star-selection rule never fires.
+        result = run_two_spanner(graph, seed=11)
+        assert result.fallback_count == 0
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_within_paper_bound_small(self, seed):
+        graph = connected_gnp_graph(14, 0.45, seed=seed)
+        result = run_two_spanner(graph, seed=seed + 100)
+        opt = len(minimum_k_spanner_exact(graph, 2))
+        # Theorem 1.3: O(log m/n).  The constant in the analysis is large
+        # (8 * accounting constants); 16 * max(1, log2(m/n)) is a generous but
+        # meaningful empirical envelope that would catch gross regressions.
+        assert len(result.edges) <= 16 * log_m_over_n(graph) * opt
+
+    def test_ratio_vs_lp_on_medium_graph(self):
+        graph = connected_gnp_graph(40, 0.25, seed=7)
+        result = run_two_spanner(graph, seed=8)
+        lp = lp_lower_bound_2spanner(graph)
+        assert len(result.edges) <= 16 * log_m_over_n(graph) * lp
+
+    def test_clique_close_to_optimum(self):
+        graph = complete_graph(12)
+        result = run_two_spanner(graph, seed=3)
+        # Optimum is a single full star (11 edges); the algorithm should be
+        # within the O(log m/n) envelope of it.
+        assert is_k_spanner(graph, result.edges, 2)
+        assert len(result.edges) <= 16 * log_m_over_n(graph) * 11
+
+    def test_bipartite_keeps_everything(self):
+        graph = complete_bipartite_graph(4, 5)
+        result = run_two_spanner(graph, seed=5)
+        assert result.edges == graph.edge_set()
+
+    def test_tree_keeps_everything(self):
+        graph = path_graph(12)
+        result = run_two_spanner(graph, seed=6)
+        assert result.edges == graph.edge_set()
+
+
+class TestRounds:
+    def test_round_iteration_relationship(self):
+        graph = connected_gnp_graph(20, 0.3, seed=9)
+        result = run_two_spanner(graph, seed=10)
+        assert result.rounds >= result.iterations * ROUNDS_PER_ITERATION
+        assert result.iterations >= 1
+
+    def test_iterations_within_polylog_envelope(self):
+        for seed in range(3):
+            graph = connected_gnp_graph(30, 0.3, seed=seed)
+            result = run_two_spanner(graph, seed=seed)
+            n = graph.number_of_nodes()
+            delta = graph.max_degree()
+            envelope = 10 * max(1, math.log2(n)) * max(1, math.log2(delta)) + 10
+            assert result.iterations <= envelope
+
+    def test_larger_graph_does_not_blow_up_iterations(self):
+        small = run_two_spanner(connected_gnp_graph(20, 0.3, seed=1), seed=1)
+        large = run_two_spanner(connected_gnp_graph(60, 0.1, seed=1), seed=1)
+        # O(log n log Delta): tripling n must not triple iteration counts.
+        assert large.iterations <= 3 * small.iterations + 10
+
+
+class TestDeterminismAndOptions:
+    def test_same_seed_same_output(self):
+        graph = connected_gnp_graph(18, 0.35, seed=12)
+        a = run_two_spanner(graph, seed=5)
+        b = run_two_spanner(graph, seed=5)
+        assert a.edges == b.edges
+        assert a.rounds == b.rounds
+
+    def test_different_seeds_can_differ(self):
+        graph = connected_gnp_graph(18, 0.35, seed=12)
+        sizes = {len(run_two_spanner(graph, seed=s).edges) for s in range(6)}
+        assert len(sizes) >= 1  # all runs valid; sizes may or may not coincide
+
+    def test_peeling_mode_still_valid(self):
+        graph = connected_gnp_graph(20, 0.35, seed=13)
+        result = run_two_spanner(
+            graph, seed=1, options=TwoSpannerOptions(densest_method="peeling")
+        )
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_ablation_without_paper_rule_still_valid(self):
+        graph = connected_gnp_graph(20, 0.35, seed=14)
+        result = run_two_spanner(
+            graph, seed=1, options=TwoSpannerOptions(follow_paper_rule=False)
+        )
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_vote_fraction_one_still_terminates(self):
+        from fractions import Fraction
+
+        graph = connected_gnp_graph(16, 0.35, seed=15)
+        result = run_two_spanner(
+            graph, seed=1, options=TwoSpannerOptions(vote_fraction=Fraction(1, 2))
+        )
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_explicit_variant_object(self):
+        graph = connected_gnp_graph(12, 0.4, seed=16)
+        result = run_two_spanner(graph, variant=UnweightedVariant(), seed=2)
+        assert is_k_spanner(graph, result.edges, 2)
+
+
+class TestEdgeCases:
+    def test_single_edge_graph(self):
+        graph = path_graph(2)
+        result = run_two_spanner(graph, seed=1)
+        assert result.edges == {(0, 1)}
+
+    def test_graph_with_isolated_vertex(self):
+        graph = path_graph(3)
+        graph.add_node(99)
+        result = run_two_spanner(graph, seed=1)
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_disconnected_graph(self):
+        graph = path_graph(4)
+        graph.add_edge(10, 11)
+        graph.add_edge(11, 12)
+        result = run_two_spanner(graph, seed=1)
+        assert is_k_spanner(graph, result.edges, 2)
+
+    def test_triangle(self):
+        graph = cycle_graph(3)
+        result = run_two_spanner(graph, seed=1)
+        assert is_k_spanner(graph, result.edges, 2)
+        assert 2 <= len(result.edges) <= 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_random_graphs_always_valid(self, seed):
+        graph = connected_gnp_graph(12, 0.35, seed=seed)
+        result = run_two_spanner(graph, seed=seed)
+        assert is_k_spanner(graph, result.edges, 2)
