@@ -376,9 +376,11 @@ def run_directed_two_spanner(
     options = options if options is not None else TwoSpannerOptions()
     model = model if model is not None else local_model(graph.number_of_nodes())
 
+    topo = graph.freeze()
+
     def factory(v: Node) -> DirectedTwoSpannerProgram:
         setup = _DirectedSetup(
-            neighbors=frozenset(graph.neighbors(v)),
+            neighbors=topo.neighbor_label_set(topo.index[v]),
             out_arcs=frozenset(graph.out_edges(v)),
             in_arcs=frozenset(graph.in_edges(v)),
         )

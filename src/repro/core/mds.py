@@ -212,8 +212,10 @@ def run_mds(
     options = options if options is not None else MDSOptions()
     model = model if model is not None else congest_model(graph.number_of_nodes(), enforce=True)
 
+    topo = graph.freeze()
+
     def factory(v: Node) -> MDSProgram:
-        return MDSProgram(v, frozenset(graph.neighbors(v)), options)
+        return MDSProgram(v, topo.neighbor_label_set(topo.index[v]), options)
 
     sim = Simulator(graph, factory, model=model, seed=seed)
     run = sim.run(max_rounds=max_rounds)

@@ -123,6 +123,8 @@ class TwoSpannerProgram(NodeProgram):
         self.selection_state = StarSelectionState()
         self.announced_covered_via: set[Edge] = set()
         self.reported_covered: set[Edge] = set()
+        self._cover_scanned_list: list[Node] = []
+        self._cover_scanned_set: set[Node] = set()
         self._density_cache: tuple[frozenset[Edge], tuple[Fraction, Fraction]] | None = None
 
         # --- per-iteration transient state --------------------------------
@@ -166,8 +168,8 @@ class TwoSpannerProgram(NodeProgram):
     def _process_hello(self, inbox: Inbox) -> None:
         for _, payloads in inbox.items():
             for msg in payloads:
-                for edge in msg["targets"]:
-                    self.target_edges_2nbhd.add(edge_key(*edge))
+                # Target edges travel as canonical keys; no re-canonicalisation.
+                self.target_edges_2nbhd.update(msg["targets"])
         # Edges of the initial spanner are covered from the start.
         self.covered |= self.incident_spanner
 
@@ -179,8 +181,7 @@ class TwoSpannerProgram(NodeProgram):
                     if self.node in msg["leaves"]:
                         self.incident_spanner.add(edge_key(self.node, sender))
                 elif msg.get("kind") == "added_edges":
-                    for edge in msg["edges"]:
-                        e = edge_key(*edge)
+                    for e in msg["edges"]:
                         if self.node in e:
                             self.incident_spanner.add(e)
                         self.covered.add(e)
@@ -188,27 +189,40 @@ class TwoSpannerProgram(NodeProgram):
         self._send_cover(ctx)
 
     def _send_cover(self, ctx: NodeContext) -> None:
+        # Spanner neighbours only grow, so every pair of already-scanned
+        # neighbours was handled by an earlier call (announced, or not a
+        # target then and never a target later); only pairs touching a fresh
+        # neighbour can yield a new announcement.
         newly: list[Edge] = []
         spanner_nbrs = {
             (u if w == self.node else w) for u, w in self.incident_spanner
         }
-        for u in spanner_nbrs:
-            for w in spanner_nbrs:
-                if repr(u) >= repr(w):
-                    continue
-                pair = edge_key(u, w)
-                if pair in self.target_edges_2nbhd and pair not in self.announced_covered_via:
-                    newly.append(pair)
-                    self.announced_covered_via.add(pair)
-                    self.covered.add(pair)
+        fresh = [u for u in spanner_nbrs if u not in self._cover_scanned_set]
+        if fresh:
+            known = self._cover_scanned_list
+            for a, u in enumerate(fresh):
+                for w in known:
+                    self._announce_pair(u, w, newly)
+                for w in fresh[a + 1 :]:
+                    self._announce_pair(u, w, newly)
+            known.extend(fresh)
+            self._cover_scanned_set.update(fresh)
         ctx.broadcast({"kind": "cover", "pairs": newly})
+
+    def _announce_pair(self, u: Node, w: Node, newly: list[Edge]) -> None:
+        if repr(u) == repr(w):
+            return  # distinct nodes with equal reprs are never paired
+        pair = edge_key(u, w)
+        if pair in self.target_edges_2nbhd and pair not in self.announced_covered_via:
+            newly.append(pair)
+            self.announced_covered_via.add(pair)
+            self.covered.add(pair)
 
     # phase "report": process COVER messages, report newly covered incident targets.
     def _phase_report(self, ctx: NodeContext, inbox: Inbox) -> None:
         for _, payloads in inbox.items():
             for msg in payloads:
-                for pair in msg.get("pairs", []):
-                    e = edge_key(*pair)
+                for e in msg.get("pairs", []):
                     if self.node in e or (e[0] in self.setup.neighbors and e[1] in self.setup.neighbors):
                         self.covered.add(e)
 
@@ -240,8 +254,7 @@ class TwoSpannerProgram(NodeProgram):
         for sender, payloads in inbox.items():
             for msg in payloads:
                 self.neighbor_done[sender] = bool(msg.get("done", False))
-                for edge in msg.get("covered", []):
-                    self.covered.add(edge_key(*edge))
+                self.covered.update(msg.get("covered", ()))
 
         self.current_hv = {
             e
@@ -381,8 +394,7 @@ class TwoSpannerProgram(NodeProgram):
             for msg in payloads:
                 if msg.get("kind") != "vote":
                     continue
-                for edge in msg["edges"]:
-                    e = edge_key(*edge)
+                for e in msg["edges"]:
                     if e in self.candidate_cv:
                         self.votes_received.add(e)
 
@@ -426,12 +438,15 @@ def run_two_spanner(
     seed: int | None = None,
     model: ModelConfig | None = None,
     max_rounds: int = 200_000,
+    engine: str = "indexed",
 ) -> TwoSpannerResult:
     """Run the distributed 2-spanner algorithm on ``graph`` and collect the result.
 
     The returned edge set is the union of the per-vertex outputs; ``rounds``
     counts simulator rounds (7 per algorithm iteration plus setup/termination)
     and ``iterations`` is the largest iteration index any vertex reached.
+    ``engine`` selects the simulator engine (the throughput benchmark compares
+    ``indexed`` against ``reference``); results are identical for a fixed seed.
     """
     variant = variant if variant is not None else UnweightedVariant()
     options = options if options is not None else TwoSpannerOptions()
@@ -440,7 +455,7 @@ def run_two_spanner(
     def factory(v: Node) -> TwoSpannerProgram:
         return TwoSpannerProgram(v, variant.node_setup(graph, v), variant, options)
 
-    sim = Simulator(graph, factory, model=model, seed=seed)
+    sim = Simulator(graph, factory, model=model, seed=seed, engine=engine)
     run = sim.run(max_rounds=max_rounds)
 
     edges: set[Edge] = set()

@@ -72,7 +72,8 @@ class UnweightedVariant(SpannerVariant):
     name = "unweighted"
 
     def node_setup(self, graph: Graph, v: Node) -> NodeSetup:
-        neighbors = frozenset(graph.neighbors(v))
+        topo = graph.freeze()
+        neighbors = topo.neighbor_label_set(topo.index[v])
         incident = frozenset(edge_key(v, u) for u in neighbors)
         return NodeSetup(
             neighbors=neighbors,
@@ -95,9 +96,11 @@ class WeightedVariant(SpannerVariant):
     name = "weighted"
 
     def node_setup(self, graph: Graph, v: Node) -> NodeSetup:
-        neighbors = frozenset(graph.neighbors(v))
+        topo = graph.freeze()
+        i = topo.index[v]
+        neighbors = topo.neighbor_label_set(i)
         incident = frozenset(edge_key(v, u) for u in neighbors)
-        weights = {u: Fraction(graph.weight(v, u)) for u in neighbors}
+        weights = {u: Fraction(w) for u, w in topo.neighbor_items(i)}
         zero = frozenset(u for u, w in weights.items() if w == 0)
         initial = frozenset(edge_key(v, u) for u in zero)
         wmax = max(weights.values(), default=Fraction(1))
@@ -137,7 +140,8 @@ class ClientServerVariant(SpannerVariant):
         return self.instance.graph
 
     def node_setup(self, graph: Graph, v: Node) -> NodeSetup:
-        neighbors = frozenset(graph.neighbors(v))
+        topo = graph.freeze()
+        neighbors = topo.neighbor_label_set(topo.index[v])
         incident_clients = frozenset(
             edge_key(v, u) for u in neighbors if edge_key(v, u) in self.instance.clients
         )

@@ -1,6 +1,6 @@
 """Synchronous LOCAL / CONGEST round simulator and message accounting."""
 
-from repro.distributed.encoding import congest_budget_bits, estimate_bits
+from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import (
     BandwidthExceededError,
     NotANeighborError,
@@ -12,6 +12,7 @@ from repro.distributed.models import Model, ModelConfig, congest_model, local_mo
 from repro.distributed.node import NodeContext
 from repro.distributed.program import FunctionProgram, NodeProgram
 from repro.distributed.simulator import (
+    ENGINES,
     RunResult,
     Simulator,
     congest_overhead_report,
@@ -19,7 +20,9 @@ from repro.distributed.simulator import (
 )
 
 __all__ = [
+    "ENGINES",
     "BandwidthExceededError",
+    "BitsMemo",
     "FunctionProgram",
     "Metrics",
     "Model",

@@ -54,6 +54,34 @@ def estimate_bits(payload: object) -> int:
     return 64
 
 
+class BitsMemo:
+    """Identity-keyed memo for :func:`estimate_bits`, valid for one delivery pass.
+
+    A broadcast enqueues the *same* payload object once per neighbour, so a
+    delivery pass sees each distinct payload ``deg`` times; measuring it once
+    turns the per-round estimation cost from O(sum of degrees) to O(number of
+    distinct payloads).  Keying by ``id`` is sound only while the payloads are
+    alive and unmodified, which holds between the end of a round (no program
+    is running) and the delivery of its messages — the memo must be reset
+    after every pass because ids may be reused once payloads are collected.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: dict[int, int] = {}
+
+    def measure(self, payload: object) -> int:
+        key = id(payload)
+        bits = self._memo.get(key)
+        if bits is None:
+            bits = self._memo[key] = estimate_bits(payload)
+        return bits
+
+    def reset(self) -> None:
+        self._memo.clear()
+
+
 def congest_budget_bits(n: int, factor: int = 32) -> int:
     """The per-edge per-round budget ``factor * ceil(log2 n)`` bits.
 

@@ -37,8 +37,12 @@ class Metrics:
         self.rounds += 1
         self.bits_per_round.append(0)
 
-    def summary(self) -> dict[str, int]:
-        """A flat dictionary convenient for benchmark reporting."""
+    def as_dict(self) -> dict[str, int]:
+        """All aggregate counters as a flat dictionary.
+
+        Benchmarks and reports should consume this instead of poking
+        individual attributes, so that adding a counter is a one-line change.
+        """
         return {
             "rounds": self.rounds,
             "messages_sent": self.messages_sent,
@@ -48,3 +52,7 @@ class Metrics:
             "cut_messages": self.cut_messages,
             "cut_bits": self.cut_bits,
         }
+
+    def summary(self) -> dict[str, int]:
+        """Backwards-compatible alias of :meth:`as_dict`."""
+        return self.as_dict()

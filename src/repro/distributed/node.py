@@ -47,8 +47,7 @@ class NodeContext:
 
     def broadcast(self, payload: Any) -> None:
         """Queue ``payload`` for every neighbour."""
-        for dst in self.neighbors:
-            self._outbox.append((dst, payload))
+        self._outbox.extend((dst, payload) for dst in self.neighbors)
 
     # ----------------------------------------------------------------- control
     def set_output(self, value: Any) -> None:

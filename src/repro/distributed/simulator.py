@@ -7,16 +7,30 @@ this reproduction runs, and it is also the measurement instrument: it counts
 rounds, messages, bits, CONGEST bandwidth violations and (optionally) the
 bits crossing a designated vertex cut — the quantity the paper's two-party
 lower-bound reductions charge to Alice and Bob.
+
+Two engines share the public API and produce identical results:
+
+* ``indexed`` (default) — runs on the graph's compiled CSR topology
+  (:meth:`~repro.graphs.base.BaseGraph.freeze`): contexts and programs live
+  in dense lists, an active-set scheduler skips halted vertices, inboxes are
+  materialised only for vertices with pending traffic, per-link CONGEST
+  accounting uses a preallocated array indexed by CSR arc position, and
+  message sizes are measured once per distinct payload object per round
+  (:class:`~repro.distributed.encoding.BitsMemo`).
+* ``reference`` — the original dict-of-dicts engine, kept as the
+  differential-testing oracle and as the baseline the throughput benchmark
+  (E16) measures speedups against.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
 from typing import Any
 
-from repro.distributed.encoding import estimate_bits
+from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
 from repro.distributed.metrics import Metrics
 from repro.distributed.models import Model, ModelConfig, local_model
@@ -27,6 +41,8 @@ from repro.graphs.graph import Graph
 
 Node = Hashable
 ProgramFactory = Callable[[Node], NodeProgram]
+
+ENGINES = ("indexed", "reference")
 
 
 @dataclass
@@ -61,6 +77,10 @@ class Simulator:
         Optional set of vertices forming "Alice's side"; bits of messages
         crossing between this set and its complement are tallied separately
         (used by the lower-bound reduction harness).
+    engine:
+        ``"indexed"`` (the compiled-topology engine, default) or
+        ``"reference"`` (the original dict-based engine).  Both produce
+        identical outputs and metrics for a fixed seed.
     """
 
     def __init__(
@@ -70,21 +90,179 @@ class Simulator:
         model: ModelConfig | None = None,
         seed: int | None = None,
         cut: Iterable[Node] | None = None,
+        engine: str = "indexed",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.program_factory = program_factory
         self.model = model if model is not None else local_model(graph.number_of_nodes())
         self.seed = seed
         self.cut = set(cut) if cut is not None else None
-        self._neighbors: dict[Node, frozenset[Node]] = {
-            v: frozenset(graph.neighbors(v)) for v in graph.nodes()
-        }
+        self.engine = engine
+        self.topology = graph.freeze()
 
     # --------------------------------------------------------------------- run
     def run(self, max_rounds: int = 10_000, raise_on_limit: bool = True) -> RunResult:
         """Execute the program until every node halts or ``max_rounds`` elapse."""
+        # Re-freeze so a graph mutated between construction and run() is
+        # observed identically by both engines (freeze() is cached when the
+        # graph is unchanged).
+        self.topology = self.graph.freeze()
+        if self.engine == "reference":
+            return self._run_reference(max_rounds, raise_on_limit)
+        return self._run_indexed(max_rounds, raise_on_limit)
+
+    # -------------------------------------------------------- indexed engine
+    def _run_indexed(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+        topo = self.topology
+        n = topo.n
+        labels = topo.labels
+        master = random.Random(self.seed)
+        node_seeds = [master.randrange(2**63) for _ in range(n)]
+
+        contexts: list[NodeContext] = []
+        programs: list[NodeProgram] = []
+        for i in range(n):
+            contexts.append(
+                NodeContext(
+                    node_id=labels[i],
+                    neighbors=topo.neighbor_label_set(i),
+                    n=n,
+                    rng=random.Random(node_seeds[i]),
+                )
+            )
+            programs.append(self.program_factory(labels[i]))
+
+        metrics = Metrics()
+        memo = BitsMemo()
+        budget = self.model.bandwidth_bits
+        # Per-link running totals, indexed by CSR arc position; ``touched``
+        # remembers which positions to zero between rounds so a round costs
+        # O(messages), not O(arcs).
+        link_bits = array("q", [0]) * topo.arc_count if budget is not None else None
+        touched: list[int] = []
+
+        for i in range(n):
+            programs[i].on_start(contexts[i])
+
+        pending = self._collect_indexed(
+            contexts, range(n), metrics, memo, budget, link_bits, touched
+        )
+        active = [i for i in range(n) if not contexts[i].halted]
+
+        while active:
+            if metrics.rounds >= max_rounds:
+                if raise_on_limit:
+                    raise RoundLimitExceededError(
+                        f"simulation exceeded {max_rounds} rounds"
+                    )
+                break
+            metrics.start_round()
+            current_round = metrics.rounds
+            for i in active:
+                ctx = contexts[i]
+                ctx.round = current_round
+                inbox = pending[i]
+                programs[i].on_round(ctx, inbox if inbox is not None else {})
+            pending = self._collect_indexed(
+                contexts, active, metrics, memo, budget, link_bits, touched
+            )
+            active = [i for i in active if not contexts[i].halted]
+
+        outputs = {labels[i]: contexts[i].output for i in range(n)}
+        return RunResult(outputs=outputs, metrics=metrics, completed=not active)
+
+    def _collect_indexed(
+        self,
+        contexts: list[NodeContext],
+        sender_ids: Iterable[int],
+        metrics: Metrics,
+        memo: BitsMemo,
+        budget: int | None,
+        link_bits: array | None,
+        touched: list[int],
+    ) -> list[dict[Node, list[Any]] | None]:
+        """Drain outboxes, apply bandwidth accounting and build sparse inboxes."""
+        topo = self.topology
+        labels = topo.labels
+        index = topo.index
+        cut = self.cut
+        inboxes: list[dict[Node, list[Any]] | None] = [None] * topo.n
+
+        messages = 0
+        bits_total = 0
+        max_bits = metrics.max_message_bits
+        cut_messages = 0
+        cut_bits = 0
+        violations = 0
+
+        def flush() -> None:
+            metrics.messages_sent += messages
+            metrics.bits_sent += bits_total
+            metrics.max_message_bits = max_bits
+            metrics.cut_messages += cut_messages
+            metrics.cut_bits += cut_bits
+            metrics.bandwidth_violations += violations
+            if metrics.bits_per_round:
+                metrics.bits_per_round[-1] += bits_total
+
+        for src_i in sender_ids:
+            outbox = contexts[src_i]._outbox
+            if not outbox:
+                continue
+            contexts[src_i]._outbox = []
+            src = labels[src_i]
+            src_in_cut = cut is not None and src in cut
+            for dst, payload in outbox:
+                bits = memo.measure(payload)
+                messages += 1
+                bits_total += bits
+                if bits > max_bits:
+                    max_bits = bits
+                if cut is not None and (src_in_cut != (dst in cut)):
+                    cut_messages += 1
+                    cut_bits += bits
+                dst_i = index[dst]
+                if budget is not None:
+                    pos = topo.arc_position(src_i, dst_i)
+                    if not link_bits[pos]:
+                        touched.append(pos)
+                    link_bits[pos] += bits
+                    if link_bits[pos] > budget:
+                        violations += 1
+                        if self.model.enforce:
+                            flush()
+                            raise BandwidthExceededError(
+                                f"message(s) on link {src!r}->{dst!r} use "
+                                f"{link_bits[pos]} bits, budget is {budget} "
+                                f"({self.model.model.value})"
+                            )
+                if contexts[dst_i].halted:
+                    continue
+                box = inboxes[dst_i]
+                if box is None:
+                    box = inboxes[dst_i] = {}
+                payloads = box.get(src)
+                if payloads is None:
+                    box[src] = [payload]
+                else:
+                    payloads.append(payload)
+
+        flush()
+        memo.reset()
+        if link_bits is not None and touched:
+            for pos in touched:
+                link_bits[pos] = 0
+            touched.clear()
+        return inboxes
+
+    # ------------------------------------------------------ reference engine
+    def _run_reference(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+        """The original dict-based engine, kept as the differential oracle."""
         nodes = list(self.graph.nodes())
         n = len(nodes)
+        neighbors = {v: frozenset(self.graph.neighbors(v)) for v in nodes}
         master = random.Random(self.seed)
         node_seeds = {v: master.randrange(2**63) for v in nodes}
 
@@ -93,7 +271,7 @@ class Simulator:
         for v in nodes:
             contexts[v] = NodeContext(
                 node_id=v,
-                neighbors=self._neighbors[v],
+                neighbors=neighbors[v],
                 n=n,
                 rng=random.Random(node_seeds[v]),
             )
@@ -127,11 +305,10 @@ class Simulator:
         outputs = {v: contexts[v].output for v in nodes}
         return RunResult(outputs=outputs, metrics=metrics, completed=completed)
 
-    # ----------------------------------------------------------------- helpers
     def _collect_messages(
         self, contexts: dict[Node, NodeContext], metrics: Metrics
     ) -> dict[Node, dict[Node, list[Any]]]:
-        """Drain every outbox, apply bandwidth accounting and build inboxes."""
+        """Reference-engine collection: per-link dicts rebuilt every round."""
         inboxes: dict[Node, dict[Node, list[Any]]] = {}
         budget = self.model.bandwidth_bits
         per_link_bits: dict[tuple[Node, Node], int] = {}
@@ -165,9 +342,10 @@ def run_program(
     seed: int | None = None,
     max_rounds: int = 10_000,
     cut: Iterable[Node] | None = None,
+    engine: str = "indexed",
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
-    sim = Simulator(graph, program_factory, model=model, seed=seed, cut=cut)
+    sim = Simulator(graph, program_factory, model=model, seed=seed, cut=cut, engine=engine)
     return sim.run(max_rounds=max_rounds)
 
 
@@ -178,8 +356,6 @@ def congest_overhead_report(result: RunResult, n: int, logn_factor: int = 32) ->
     2-spanner algorithm incurs an O(Delta) overhead; this helper quantifies
     the measured ratio ``max_message_bits / budget`` for a LOCAL run.
     """
-    from repro.distributed.encoding import congest_budget_bits
-
     budget = congest_budget_bits(n, logn_factor)
     return {
         "budget_bits": float(budget),
@@ -189,6 +365,7 @@ def congest_overhead_report(result: RunResult, n: int, logn_factor: int = 32) ->
 
 
 __all__ = [
+    "ENGINES",
     "Model",
     "ModelConfig",
     "RunResult",

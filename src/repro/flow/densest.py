@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 from fractions import Fraction
+from math import lcm
 
 from repro.flow.dinic import MaxFlowNetwork
 
@@ -138,23 +139,38 @@ def _improving_subset(
     m: int,
     g: Fraction,
 ) -> set[Node] | None:
-    """A subset with density strictly above ``g``, or ``None`` if none exists."""
-    source = ("__source__",)
-    sink = ("__sink__",)
-    net = MaxFlowNetwork()
-    net.add_node(source)
-    net.add_node(sink)
-    for v in node_list:
-        net.add_edge(source, ("v", v), Fraction(degree[v]))
-        net.add_edge(("v", v), sink, 2 * g * weights[v])
+    """A subset with density strictly above ``g``, or ``None`` if none exists.
+
+    All capacities are rationals; scaling them by the least common multiple of
+    their denominators turns the whole network into machine integers without
+    changing anything observable: the residual graph stays a uniformly scaled
+    copy at every step, so Dinic picks the same augmenting paths and the same
+    source side of the minimum cut falls out.  Nodes enter the network as
+    dense indices (source = -1, sink = -2) so the inner loops never hash
+    caller labels.
+    """
+    index = {v: i for i, v in enumerate(node_list)}
+    sink_caps = [2 * g * weights[v] for v in node_list]
+    scale = 1
+    for cap in sink_caps:
+        scale = lcm(scale, cap.denominator)
+
+    k = len(node_list)
+    source = k
+    sink = k + 1
+    net = MaxFlowNetwork.indexed(k + 2)
+    for i, v in enumerate(node_list):
+        net.add_edge_indexed(source, i, degree[v] * scale)
+        net.add_edge_indexed(i, sink, (sink_caps[i] * scale).numerator)
     for u, v in edge_list:
-        net.add_edge(("v", u), ("v", v), Fraction(1))
-        net.add_edge(("v", v), ("v", u), Fraction(1))
+        ui, vi = index[u], index[v]
+        net.add_edge_indexed(ui, vi, scale)
+        net.add_edge_indexed(vi, ui, scale)
     cut_value = net.max_flow(source, sink)
-    if cut_value >= Fraction(2 * m):
+    if cut_value >= 2 * m * scale:
         return None
     side = net.min_cut_source_side(source)
-    subset = {label[1] for label in side if isinstance(label, tuple) and label[0] == "v"}
+    subset = {node_list[i] for i in side if i < k}
     if not subset:
         return None
     return subset

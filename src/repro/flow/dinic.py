@@ -53,6 +53,32 @@ class MaxFlowNetwork:
         self._cap.append(0 if isinstance(capacity, int) else type(capacity)(0))
         self._rev.append(len(self._to) - 2)
 
+    @classmethod
+    def indexed(cls, n: int) -> "MaxFlowNetwork":
+        """A network whose nodes are exactly the integers ``0..n-1``.
+
+        Bulk construction for callers that already work with dense indices
+        (the densest-subgraph solver): node registration is done up front, so
+        :meth:`add_edge_indexed` touches no hash tables.
+        """
+        net = cls()
+        net._labels = list(range(n))
+        net._index = {i: i for i in range(n)}
+        net._adj = [[] for _ in range(n)]
+        return net
+
+    def add_edge_indexed(self, ui: int, vi: int, capacity: int) -> None:
+        """Add ``ui -> vi`` between preregistered indices (integer capacity)."""
+        eid = len(self._to)
+        self._adj[ui].append(eid)
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._rev.append(eid + 1)
+        self._adj[vi].append(eid + 1)
+        self._to.append(ui)
+        self._cap.append(0)
+        self._rev.append(eid)
+
     # ------------------------------------------------------------------- flow
     def max_flow(self, source: Node, sink: Node) -> Number:
         """Compute the maximum s-t flow value (the network keeps the residual state)."""

@@ -9,13 +9,16 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Any
 
+from repro.graphs.base import DEFAULT_WEIGHT, BaseGraph
+from repro.graphs.topology import CompiledTopology, compile_digraph
+
 Node = Hashable
 Arc = tuple[Node, Node]
 
-DEFAULT_WEIGHT = 1.0
+__all__ = ["Arc", "DEFAULT_WEIGHT", "DiGraph", "Node"]
 
 
-class DiGraph:
+class DiGraph(BaseGraph):
     """A simple directed graph with float arc weights.
 
     Arcs are ordered pairs ``(u, v)``; both ``(u, v)`` and ``(v, u)`` may be
@@ -25,29 +28,26 @@ class DiGraph:
     directed = True
 
     def __init__(self, arcs: Iterable[Arc] | None = None) -> None:
+        super().__init__()
         self._succ: dict[Node, dict[Node, float]] = {}
         self._pred: dict[Node, dict[Node, float]] = {}
         if arcs is not None:
             for u, v in arcs:
                 self.add_edge(u, v)
 
+    # ------------------------------------------------------------------ hooks
+    def _node_store(self) -> dict[Node, dict[Node, float]]:
+        return self._succ
+
+    def _compile(self) -> CompiledTopology:
+        return compile_digraph(self)
+
     # ------------------------------------------------------------------ nodes
     def add_node(self, v: Node) -> None:
-        self._succ.setdefault(v, {})
-        self._pred.setdefault(v, {})
-
-    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
-        for v in nodes:
-            self.add_node(v)
-
-    def has_node(self, v: Node) -> bool:
-        return v in self._succ
-
-    def nodes(self) -> list[Node]:
-        return list(self._succ)
-
-    def number_of_nodes(self) -> int:
-        return len(self._succ)
+        if v not in self._succ:
+            self._succ[v] = {}
+            self._pred[v] = {}
+            self._invalidate()
 
     def remove_node(self, v: Node) -> None:
         if v not in self._succ:
@@ -58,6 +58,7 @@ class DiGraph:
             del self._succ[u][v]
         del self._succ[v]
         del self._pred[v]
+        self._invalidate()
 
     # ------------------------------------------------------------------- arcs
     def add_edge(self, u: Node, v: Node, weight: float = DEFAULT_WEIGHT) -> None:
@@ -67,20 +68,14 @@ class DiGraph:
         self.add_node(v)
         self._succ[u][v] = float(weight)
         self._pred[v][u] = float(weight)
-
-    def add_edges_from(self, arcs: Iterable[Arc], weight: float = DEFAULT_WEIGHT) -> None:
-        for u, v in arcs:
-            self.add_edge(u, v, weight)
-
-    def add_weighted_edges_from(self, arcs: Iterable[tuple[Node, Node, float]]) -> None:
-        for u, v, w in arcs:
-            self.add_edge(u, v, w)
+        self._invalidate()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         if not self.has_edge(u, v):
             raise KeyError(f"arc {(u, v)!r} not in graph")
         del self._succ[u][v]
         del self._pred[v][u]
+        self._invalidate()
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return u in self._succ and v in self._succ[u]
@@ -89,9 +84,6 @@ class DiGraph:
         for u, nbrs in self._succ.items():
             for v in nbrs:
                 yield (u, v)
-
-    def edge_set(self) -> set[Arc]:
-        return set(self.edges())
 
     def number_of_edges(self) -> int:
         return sum(len(nbrs) for nbrs in self._succ.values())
@@ -106,11 +98,7 @@ class DiGraph:
             raise KeyError(f"arc {(u, v)!r} not in graph")
         self._succ[u][v] = float(weight)
         self._pred[v][u] = float(weight)
-
-    def total_weight(self, arcs: Iterable[Arc] | None = None) -> float:
-        if arcs is None:
-            arcs = self.edges()
-        return sum(self.weight(u, v) for u, v in arcs)
+        self._invalidate()
 
     # -------------------------------------------------------------- structure
     def successors(self, v: Node) -> set[Node]:
@@ -136,11 +124,6 @@ class DiGraph:
     def degree(self, v: Node) -> int:
         """Number of distinct communication neighbours of ``v``."""
         return len(self.neighbors(v))
-
-    def max_degree(self) -> int:
-        if not self._succ:
-            return 0
-        return max(self.degree(v) for v in self._succ)
 
     def out_edges(self, v: Node) -> set[Arc]:
         return {(v, u) for u in self._succ[v]}
@@ -211,30 +194,11 @@ class DiGraph:
             frontier = nxt
         return dist
 
-    def has_path_within(self, u: Node, v: Node, max_len: int) -> bool:
-        """True iff there is a directed u->v path of at most ``max_len`` arcs."""
-        if u == v:
-            return True
-        dist = self.bfs_distances(u, max_depth=max_len)
-        return v in dist
-
     def is_weakly_connected(self) -> bool:
         return self.to_undirected().is_connected()
 
     # ---------------------------------------------------------------- dunders
-    def __contains__(self, v: Node) -> bool:
-        return v in self._succ
-
-    def __len__(self) -> int:
-        return len(self._succ)
-
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, DiGraph):
             return NotImplemented
         return self._succ == other._succ
-
-    def __repr__(self) -> str:
-        return (
-            f"{type(self).__name__}(n={self.number_of_nodes()}, "
-            f"m={self.number_of_edges()})"
-        )

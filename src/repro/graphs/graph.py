@@ -3,7 +3,8 @@
 The simulator and the spanner algorithms need a small, predictable graph
 container with O(1) neighbour lookups, canonical undirected edge keys, and
 cheap copies.  ``networkx`` is supported through :mod:`repro.graphs.nx_interop`
-for interoperability, but the hot paths use this class.
+for interoperability, but the hot paths use this class — or, once the graph
+is built, its compiled CSR view (:meth:`Graph.freeze`).
 """
 
 from __future__ import annotations
@@ -11,10 +12,13 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Any
 
+from repro.graphs.base import DEFAULT_WEIGHT, BaseGraph
+from repro.graphs.topology import CompiledTopology, compile_graph
+
 Node = Hashable
 Edge = tuple[Node, Node]
 
-DEFAULT_WEIGHT = 1.0
+__all__ = ["DEFAULT_WEIGHT", "Edge", "Graph", "Node", "edge_key"]
 
 
 def edge_key(u: Node, v: Node) -> Edge:
@@ -33,7 +37,7 @@ def edge_key(u: Node, v: Node) -> Edge:
     return (u, v) if smaller else (v, u)
 
 
-class Graph:
+class Graph(BaseGraph):
     """A simple undirected graph with float edge weights.
 
     Nodes may be any hashable value.  Parallel edges and self-loops are not
@@ -44,29 +48,25 @@ class Graph:
     directed = False
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        super().__init__()
         self._adj: dict[Node, dict[Node, float]] = {}
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
 
+    # ------------------------------------------------------------------ hooks
+    def _node_store(self) -> dict[Node, dict[Node, float]]:
+        return self._adj
+
+    def _compile(self) -> CompiledTopology:
+        return compile_graph(self)
+
     # ------------------------------------------------------------------ nodes
     def add_node(self, v: Node) -> None:
         """Add an isolated node (no-op if already present)."""
-        self._adj.setdefault(v, {})
-
-    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
-        for v in nodes:
-            self.add_node(v)
-
-    def has_node(self, v: Node) -> bool:
-        return v in self._adj
-
-    def nodes(self) -> list[Node]:
-        """Return the nodes in insertion order."""
-        return list(self._adj)
-
-    def number_of_nodes(self) -> int:
-        return len(self._adj)
+        if v not in self._adj:
+            self._adj[v] = {}
+            self._invalidate()
 
     def remove_node(self, v: Node) -> None:
         if v not in self._adj:
@@ -74,6 +74,7 @@ class Graph:
         for u in list(self._adj[v]):
             del self._adj[u][v]
         del self._adj[v]
+        self._invalidate()
 
     # ------------------------------------------------------------------ edges
     def add_edge(self, u: Node, v: Node, weight: float = DEFAULT_WEIGHT) -> None:
@@ -83,22 +84,14 @@ class Graph:
         self.add_node(v)
         self._adj[u][v] = float(weight)
         self._adj[v][u] = float(weight)
-
-    def add_edges_from(
-        self, edges: Iterable[Edge], weight: float = DEFAULT_WEIGHT
-    ) -> None:
-        for u, v in edges:
-            self.add_edge(u, v, weight)
-
-    def add_weighted_edges_from(self, edges: Iterable[tuple[Node, Node, float]]) -> None:
-        for u, v, w in edges:
-            self.add_edge(u, v, w)
+        self._invalidate()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         if not self.has_edge(u, v):
             raise KeyError(f"edge {(u, v)!r} not in graph")
         del self._adj[u][v]
         del self._adj[v][u]
+        self._invalidate()
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return u in self._adj and v in self._adj[u]
@@ -113,9 +106,6 @@ class Graph:
                     seen.add(key)
                     yield key
 
-    def edge_set(self) -> set[Edge]:
-        return set(self.edges())
-
     def number_of_edges(self) -> int:
         return sum(len(nbrs) for nbrs in self._adj.values()) // 2
 
@@ -129,12 +119,7 @@ class Graph:
             raise KeyError(f"edge {(u, v)!r} not in graph")
         self._adj[u][v] = float(weight)
         self._adj[v][u] = float(weight)
-
-    def total_weight(self, edges: Iterable[Edge] | None = None) -> float:
-        """Sum of weights of ``edges`` (or of all edges if ``None``)."""
-        if edges is None:
-            edges = self.edges()
-        return sum(self.weight(u, v) for u, v in edges)
+        self._invalidate()
 
     # -------------------------------------------------------------- structure
     def neighbors(self, v: Node) -> set[Node]:
@@ -146,11 +131,6 @@ class Graph:
         if v not in self._adj:
             raise KeyError(f"node {v!r} not in graph")
         return len(self._adj[v])
-
-    def max_degree(self) -> int:
-        if not self._adj:
-            return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
 
     def incident_edges(self, v: Node) -> set[Edge]:
         """Canonical keys of all edges touching ``v``."""
@@ -229,27 +209,8 @@ class Graph:
             remaining -= comp
         return components
 
-    def has_path_within(self, u: Node, v: Node, max_len: int) -> bool:
-        """True iff there is a u-v path of at most ``max_len`` edges."""
-        if u == v:
-            return True
-        dist = self.bfs_distances(u, max_depth=max_len)
-        return v in dist
-
     # ---------------------------------------------------------------- dunders
-    def __contains__(self, v: Node) -> bool:
-        return v in self._adj
-
-    def __len__(self) -> int:
-        return len(self._adj)
-
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
         return self._adj == other._adj
-
-    def __repr__(self) -> str:
-        return (
-            f"{type(self).__name__}(n={self.number_of_nodes()}, "
-            f"m={self.number_of_edges()})"
-        )

@@ -1,4 +1,10 @@
-"""Structural graph properties used throughout the algorithms and benchmarks."""
+"""Structural graph properties used throughout the algorithms and benchmarks.
+
+The scan-heavy helpers (diameter, neighbourhoods, histograms, coverage
+checks) run on the graph's compiled CSR view (``graph.freeze()``): the
+compile cost is paid once per topology and every subsequent scan is an array
+walk instead of a dict-of-dicts traversal.
+"""
 
 from __future__ import annotations
 
@@ -37,32 +43,39 @@ def log_max_degree(graph: Graph | DiGraph) -> float:
 
 def diameter(graph: Graph) -> int:
     """Hop diameter of a connected graph (raises on disconnected input)."""
-    if not graph.is_connected():
-        raise ValueError("diameter is only defined for connected graphs")
+    topo = graph.freeze()
+    if topo.n == 0:
+        return 0
     best = 0
-    for v in graph.nodes():
-        dist = graph.bfs_distances(v)
-        best = max(best, max(dist.values(), default=0))
+    for i in range(topo.n):
+        ecc = topo.eccentricity(i)
+        if ecc < 0:
+            raise ValueError("diameter is only defined for connected graphs")
+        best = max(best, ecc)
     return best
 
 
 def two_neighborhood(graph: Graph, v: Node) -> set[Node]:
     """All vertices at distance at most 2 from ``v`` (excluding ``v`` itself)."""
-    ball = graph.ball(v, 2)
-    ball.discard(v)
-    return ball
+    topo = graph.freeze()
+    labels = topo.labels
+    return {labels[i] for i, d in topo.bfs_reach(topo.index[v], max_depth=2) if d > 0}
 
 
 def edges_between(graph: Graph, nodes: Iterable[Node]) -> set[tuple[Node, Node]]:
     """Canonical keys of the graph edges with both endpoints in ``nodes``."""
-    node_set = set(nodes)
+    topo = graph.freeze()
+    index = topo.index
+    labels = topo.labels
+    ids = {index[u] for u in nodes if u in index}
     result: set[tuple[Node, Node]] = set()
-    for u in node_set:
-        if u not in graph:
-            continue
-        for w in graph.neighbors(u):
-            if w in node_set:
-                result.add(edge_key(u, w))
+    indptr, indices = topo.indptr, topo.indices
+    for i in ids:
+        u = labels[i]
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j in ids:
+                result.add(edge_key(u, labels[j]))
     return result
 
 
@@ -74,36 +87,50 @@ def power_graph(graph: Graph, r: int) -> Graph:
     """
     if r < 1:
         raise ValueError("r must be at least 1")
+    topo = graph.freeze()
+    labels = topo.labels
     g = Graph()
-    g.add_nodes_from(graph.nodes())
-    for v in graph.nodes():
-        for u, d in graph.bfs_distances(v, max_depth=r).items():
-            if 1 <= d <= r:
-                g.add_edge(v, u)
+    g.add_nodes_from(labels)
+    for i in range(topo.n):
+        v = labels[i]
+        for j, d in topo.bfs_reach(i, max_depth=r):
+            if d >= 1:
+                g.add_edge(v, labels[j])
     return g
 
 
 def is_dominating_set(graph: Graph, dominators: Iterable[Node]) -> bool:
     """True iff every vertex is in ``dominators`` or has a neighbour in it."""
-    dom = set(dominators)
-    for v in graph.nodes():
-        if v in dom:
+    topo = graph.freeze()
+    index = topo.index
+    dom_ids = {index[v] for v in dominators if v in index}
+    indptr, indices = topo.indptr, topo.indices
+    for i in range(topo.n):
+        if i in dom_ids:
             continue
-        if not (graph.neighbors(v) & dom):
+        if not any(indices[pos] in dom_ids for pos in range(indptr[i], indptr[i + 1])):
             return False
     return True
 
 
 def is_vertex_cover(graph: Graph, cover: Iterable[Node]) -> bool:
     """True iff every edge has at least one endpoint in ``cover``."""
-    cov = set(cover)
-    return all(u in cov or v in cov for u, v in graph.edges())
+    topo = graph.freeze()
+    index = topo.index
+    cover_ids = {index[v] for v in cover if v in index}
+    indptr, indices = topo.indptr, topo.indices
+    for i in range(topo.n):
+        if i in cover_ids:
+            continue
+        for pos in range(indptr[i], indptr[i + 1]):
+            if indices[pos] not in cover_ids:
+                return False
+    return True
 
 
 def degree_histogram(graph: Graph) -> dict[int, int]:
     """Mapping degree -> number of vertices with that degree."""
     hist: dict[int, int] = {}
-    for v in graph.nodes():
-        d = graph.degree(v)
+    for d in graph.freeze().degrees:
         hist[d] = hist.get(d, 0) + 1
     return hist

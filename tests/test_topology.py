@@ -1,0 +1,130 @@
+"""Unit tests for the compiled CSR topology layer (`graphs/topology.py`)."""
+
+import pytest
+
+from repro.graphs import CompiledTopology, DiGraph, Graph
+from repro.graphs.generators import (
+    gnp_random_graph,
+    grid_graph,
+    random_digraph,
+    star_graph,
+)
+
+
+class TestCompileUndirected:
+    def test_csr_matches_adjacency(self):
+        g = gnp_random_graph(40, 0.12, seed=1)
+        topo = g.freeze()
+        assert isinstance(topo, CompiledTopology)
+        assert topo.n == 40
+        assert topo.arc_count == 2 * g.number_of_edges()
+        assert topo.edge_count == g.number_of_edges()
+        for v in g.nodes():
+            i = topo.index[v]
+            assert topo.labels[i] == v
+            assert topo.degree_of(i) == g.degree(v)
+            assert set(topo.neighbor_labels(i)) == g.neighbors(v)
+            assert topo.neighbor_label_set(i) == frozenset(g.neighbors(v))
+
+    def test_weights_follow_csr_positions(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.5)
+        g.add_edge("b", "c", 7.0)
+        topo = g.freeze()
+        for u, v in g.edges():
+            pos = topo.arc_position(topo.index[u], topo.index[v])
+            assert topo.weights[pos] == g.weight(u, v)
+
+    def test_arc_position_unique_and_dense(self):
+        g = grid_graph(4, 4)
+        topo = g.freeze()
+        seen = set()
+        for v in g.nodes():
+            i = topo.index[v]
+            for u in g.neighbors(v):
+                seen.add(topo.arc_position(i, topo.index[u]))
+        assert seen == set(range(topo.arc_count))
+
+    def test_arc_position_rejects_non_neighbors(self):
+        g = star_graph(3)
+        topo = g.freeze()
+        with pytest.raises(KeyError):
+            topo.arc_position(topo.index[1], topo.index[2])
+
+
+class TestFreezeCache:
+    def test_freeze_is_cached(self):
+        g = gnp_random_graph(20, 0.2, seed=2)
+        assert g.freeze() is g.freeze()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_edge(0, 19, 5.0),
+            lambda g: g.add_node("fresh"),
+            lambda g: g.remove_node(0),
+            lambda g: g.set_weight(*next(iter(g.edges())), 9.0),
+            lambda g: g.remove_edge(*next(iter(g.edges()))),
+        ],
+    )
+    def test_mutation_invalidates(self, mutate):
+        g = gnp_random_graph(20, 0.3, seed=3)
+        before = g.freeze()
+        mutate(g)
+        after = g.freeze()
+        assert after is not before
+        assert after.n == g.number_of_nodes()
+        assert after.edge_count == g.number_of_edges()
+
+    def test_noop_add_existing_node_keeps_cache(self):
+        g = star_graph(4)
+        before = g.freeze()
+        g.add_node(0)
+        assert g.freeze() is before
+
+
+class TestCompileDirected:
+    def test_communication_neighbourhood(self):
+        d = random_digraph(25, 0.1, seed=4)
+        topo = d.freeze()
+        assert topo.directed
+        assert topo.edge_count == d.number_of_edges()
+        for v in d.nodes():
+            i = topo.index[v]
+            assert topo.neighbor_label_set(i) == frozenset(d.neighbors(v))
+            assert topo.degree_of(i) == d.degree(v)
+
+    def test_digraph_freeze_invalidation(self):
+        d = DiGraph()
+        d.add_edge("x", "y")
+        before = d.freeze()
+        d.add_edge("y", "x")
+        after = d.freeze()
+        assert after is not before
+        # anti-parallel arcs share one communication link per direction
+        assert after.neighbor_label_set(after.index["x"]) == frozenset({"y"})
+
+
+class TestTraversals:
+    def test_bfs_levels_match_dict_bfs(self):
+        g = gnp_random_graph(50, 0.08, seed=5)
+        topo = g.freeze()
+        for v in list(g.nodes())[:10]:
+            dist = g.bfs_distances(v)
+            levels = topo.bfs_levels(topo.index[v])
+            for u in g.nodes():
+                assert dist.get(u, -1) == levels[topo.index[u]]
+
+    def test_bfs_reach_respects_depth(self):
+        g = grid_graph(5, 5)
+        topo = g.freeze()
+        reach = topo.bfs_reach(topo.index[(0, 0)], max_depth=2)
+        assert all(d <= 2 for _, d in reach)
+        assert {topo.labels[i] for i, d in reach} == g.ball((0, 0), 2)
+
+    def test_eccentricity_disconnected_is_negative(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        topo = g.freeze()
+        assert topo.eccentricity(topo.index[1]) == -1
