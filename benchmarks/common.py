@@ -29,6 +29,12 @@ def fmt(value: float, digits: int = 3) -> str:
 
 
 def record(benchmark, **info: Any) -> None:
-    """Attach experiment outputs to the pytest-benchmark record."""
+    """Attach experiment outputs to the pytest-benchmark record.
+
+    Values carrying an ``as_dict()`` method (``RunResult``, ``Metrics``) are
+    flattened through it so benchmarks can pass result objects directly
+    instead of poking individual attributes.
+    """
     for key, value in info.items():
-        benchmark.extra_info[key] = value
+        as_dict = getattr(value, "as_dict", None)
+        benchmark.extra_info[key] = as_dict() if callable(as_dict) else value

@@ -42,15 +42,20 @@ from repro.core import (
     client_server_two_spanner,
     network_decomposition,
     one_plus_eps_spanner,
+    run_clique_two_spanner,
     run_directed_two_spanner,
     run_mds,
     run_two_spanner,
 )
 from repro.distributed import (
+    BroadcastNodeProgram,
+    CommunicationModel,
     NodeContext,
     NodeProgram,
     Simulator,
+    broadcast_congest_model,
     congest_model,
+    congested_clique_model,
     local_model,
     run_program,
 )
@@ -87,8 +92,10 @@ from repro.spanner import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BroadcastNodeProgram",
     "ClientServerInstance",
     "ClientServerVariant",
+    "CommunicationModel",
     "DiGraph",
     "Graph",
     "MDSOptions",
@@ -102,6 +109,7 @@ __all__ = [
     "assign_random_weights",
     "barabasi_albert_graph",
     "baswana_sen_spanner",
+    "broadcast_congest_model",
     "build_construction_g",
     "build_construction_gw",
     "build_mvc_reduction",
@@ -109,6 +117,7 @@ __all__ = [
     "cluster_graph",
     "complete_bipartite_graph",
     "congest_model",
+    "congested_clique_model",
     "connected_gnp_graph",
     "exact_dominating_set",
     "expectation_randomized_mds",
@@ -127,6 +136,7 @@ __all__ = [
     "random_disjoint_instance",
     "random_intersecting_instance",
     "random_split_instance",
+    "run_clique_two_spanner",
     "run_directed_two_spanner",
     "run_mds",
     "run_program",

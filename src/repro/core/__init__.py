@@ -1,5 +1,12 @@
 """The paper's algorithmic contributions (Sections 4-6)."""
 
+from repro.core.clique_two_spanner import (
+    CliqueSpannerResult,
+    CliqueTwoSpannerProgram,
+    clique_spanner_levels,
+    clique_spanner_round_bound,
+    run_clique_two_spanner,
+)
 from repro.core.directed_two_spanner import (
     DirectedTwoSpannerResult,
     run_directed_two_spanner,
@@ -32,6 +39,8 @@ from repro.core.variants import (
 
 __all__ = [
     "ClientServerVariant",
+    "CliqueSpannerResult",
+    "CliqueTwoSpannerProgram",
     "Decomposition",
     "DirectedTwoSpannerResult",
     "MDSOptions",
@@ -46,10 +55,13 @@ __all__ = [
     "WeightedVariant",
     "choose_candidate_star",
     "client_server_two_spanner",
+    "clique_spanner_levels",
+    "clique_spanner_round_bound",
     "decomposition_round_bound",
     "network_decomposition",
     "one_plus_eps_spanner",
     "radius_budget",
+    "run_clique_two_spanner",
     "run_directed_two_spanner",
     "run_mds",
     "run_two_spanner",

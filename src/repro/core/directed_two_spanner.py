@@ -18,7 +18,7 @@ from typing import Any
 
 from repro.core.star_selection import StarSelectionState, choose_candidate_star
 from repro.core.two_spanner import TwoSpannerOptions
-from repro.distributed.models import ModelConfig, local_model
+from repro.distributed.models import CommunicationModel, local_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, NodeProgram
 from repro.distributed.simulator import Simulator
@@ -369,7 +369,7 @@ def run_directed_two_spanner(
     graph: DiGraph,
     options: TwoSpannerOptions | None = None,
     seed: int | None = None,
-    model: ModelConfig | None = None,
+    model: CommunicationModel | None = None,
     max_rounds: int = 200_000,
 ) -> DirectedTwoSpannerResult:
     """Run the distributed directed 2-spanner algorithm and collect the result."""

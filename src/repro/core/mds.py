@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any
 
-from repro.distributed.models import ModelConfig, congest_model
+from repro.distributed.models import CommunicationModel, congest_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, NodeProgram
 from repro.distributed.simulator import Simulator
@@ -205,7 +205,7 @@ def run_mds(
     graph: Graph,
     options: MDSOptions | None = None,
     seed: int | None = None,
-    model: ModelConfig | None = None,
+    model: CommunicationModel | None = None,
     max_rounds: int = 200_000,
 ) -> MDSResult:
     """Run the guaranteed O(log Delta) MDS algorithm (CONGEST model by default)."""

@@ -34,7 +34,7 @@ from typing import Any
 
 from repro.core.star_selection import StarSelectionState, choose_candidate_star
 from repro.core.variants import NodeSetup, SpannerVariant, UnweightedVariant
-from repro.distributed.models import ModelConfig, local_model
+from repro.distributed.models import CommunicationModel, local_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, NodeProgram
 from repro.distributed.simulator import Simulator
@@ -436,7 +436,7 @@ def run_two_spanner(
     variant: SpannerVariant | None = None,
     options: TwoSpannerOptions | None = None,
     seed: int | None = None,
-    model: ModelConfig | None = None,
+    model: CommunicationModel | None = None,
     max_rounds: int = 200_000,
     engine: str = "indexed",
 ) -> TwoSpannerResult:

@@ -1,16 +1,29 @@
-"""Synchronous LOCAL / CONGEST round simulator and message accounting."""
+"""Synchronous round simulator with pluggable communication models."""
 
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import (
     BandwidthExceededError,
+    MessageAdmissionError,
     NotANeighborError,
     RoundLimitExceededError,
     SimulationError,
 )
 from repro.distributed.metrics import Metrics
-from repro.distributed.models import Model, ModelConfig, congest_model, local_model
+from repro.distributed.models import (
+    BroadcastCongestModel,
+    CommunicationModel,
+    CongestModel,
+    CongestedCliqueModel,
+    LocalModel,
+    Model,
+    ModelConfig,
+    broadcast_congest_model,
+    congest_model,
+    congested_clique_model,
+    local_model,
+)
 from repro.distributed.node import NodeContext
-from repro.distributed.program import FunctionProgram, NodeProgram
+from repro.distributed.program import BroadcastNodeProgram, FunctionProgram, NodeProgram
 from repro.distributed.simulator import (
     ENGINES,
     RunResult,
@@ -23,7 +36,14 @@ __all__ = [
     "ENGINES",
     "BandwidthExceededError",
     "BitsMemo",
+    "BroadcastCongestModel",
+    "BroadcastNodeProgram",
+    "CommunicationModel",
+    "CongestModel",
+    "CongestedCliqueModel",
     "FunctionProgram",
+    "LocalModel",
+    "MessageAdmissionError",
     "Metrics",
     "Model",
     "ModelConfig",
@@ -34,9 +54,11 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "Simulator",
+    "broadcast_congest_model",
     "congest_budget_bits",
     "congest_model",
     "congest_overhead_report",
+    "congested_clique_model",
     "estimate_bits",
     "local_model",
     "run_program",

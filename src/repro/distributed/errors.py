@@ -15,5 +15,14 @@ class BandwidthExceededError(SimulationError):
     """A message exceeded the CONGEST per-edge per-round bandwidth budget."""
 
 
+class MessageAdmissionError(SimulationError):
+    """A send pattern violated the communication model's admission policy.
+
+    Raised e.g. for a targeted ``send`` or a second per-round broadcast in a
+    broadcast-only model.  Unlike bandwidth overflows this always raises —
+    it is a structural violation, not a budget one.
+    """
+
+
 class RoundLimitExceededError(SimulationError):
     """The simulation did not terminate within the configured round limit."""

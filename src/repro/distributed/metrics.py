@@ -12,6 +12,17 @@ class Metrics:
     ``cut_bits`` is only populated when the simulator is asked to track a
     vertex cut (used by the two-party lower-bound reductions of Sections 2-3,
     where Alice and Bob must exchange every bit that crosses the cut).
+
+    ``bits_per_round`` starts with a round-0 bucket: messages queued in
+    ``on_start`` are collected before the first ``start_round()`` and land
+    there, so ``sum(bits_per_round) == bits_sent`` always holds and the
+    bucket for round ``r`` is ``bits_per_round[r]``.
+
+    ``per_model`` holds counters owned by the communication-model policy
+    (e.g. ``broadcast_payloads`` under broadcast-CONGEST,
+    ``virtual_link_messages`` under the Congested Clique); it stays empty —
+    and :meth:`as_dict` unchanged — under LOCAL / CONGEST, preserving the
+    golden-run contract.
     """
 
     rounds: int = 0
@@ -21,14 +32,14 @@ class Metrics:
     bandwidth_violations: int = 0
     cut_messages: int = 0
     cut_bits: int = 0
-    bits_per_round: list[int] = field(default_factory=list)
+    bits_per_round: list[int] = field(default_factory=lambda: [0])
+    per_model: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, bits: int, crosses_cut: bool) -> None:
         self.messages_sent += 1
         self.bits_sent += bits
         self.max_message_bits = max(self.max_message_bits, bits)
-        if self.bits_per_round:
-            self.bits_per_round[-1] += bits
+        self.bits_per_round[-1] += bits
         if crosses_cut:
             self.cut_messages += 1
             self.cut_bits += bits
@@ -37,13 +48,18 @@ class Metrics:
         self.rounds += 1
         self.bits_per_round.append(0)
 
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a model-owned counter (created on first use)."""
+        self.per_model[counter] = self.per_model.get(counter, 0) + amount
+
     def as_dict(self) -> dict[str, int]:
         """All aggregate counters as a flat dictionary.
 
         Benchmarks and reports should consume this instead of poking
         individual attributes, so that adding a counter is a one-line change.
+        Model-owned counters are merged in after the core ones.
         """
-        return {
+        out = {
             "rounds": self.rounds,
             "messages_sent": self.messages_sent,
             "bits_sent": self.bits_sent,
@@ -52,6 +68,8 @@ class Metrics:
             "cut_messages": self.cut_messages,
             "cut_bits": self.cut_bits,
         }
+        out.update(self.per_model)
+        return out
 
     def summary(self) -> dict[str, int]:
         """Backwards-compatible alias of :meth:`as_dict`."""

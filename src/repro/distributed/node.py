@@ -6,18 +6,24 @@ import random
 from collections.abc import Hashable
 from typing import Any
 
-from repro.distributed.errors import NotANeighborError
+from repro.distributed.errors import MessageAdmissionError, NotANeighborError
 
 Node = Hashable
 
 
 class NodeContext:
-    """Everything a vertex may legitimately use in the LOCAL / CONGEST models.
+    """Everything a vertex may legitimately use in its communication model.
 
     A node initially knows: its own identifier, the identifiers of its
-    neighbours, the number of vertices ``n`` (the standard polynomial upper
-    bound assumption), and a private source of randomness.  All other
-    knowledge must arrive through messages.
+    input-graph neighbours (``graph_neighbors``), the identifiers of the
+    vertices it may *message* (``neighbors`` — identical to
+    ``graph_neighbors`` except under overlay models such as the Congested
+    Clique, where every other vertex is reachable), the number of vertices
+    ``n`` (the standard polynomial upper bound assumption), and a private
+    source of randomness.  All other knowledge must arrive through messages.
+
+    Under a broadcast-only model (broadcast-CONGEST) targeted sends are
+    rejected and at most one broadcast per round is admitted.
     """
 
     def __init__(
@@ -26,19 +32,29 @@ class NodeContext:
         neighbors: frozenset[Node],
         n: int,
         rng: random.Random,
+        graph_neighbors: frozenset[Node] | None = None,
+        broadcast_only: bool = False,
     ) -> None:
         self.node_id = node_id
         self.neighbors = neighbors
+        self.graph_neighbors = neighbors if graph_neighbors is None else graph_neighbors
         self.n = n
         self.rng = rng
         self.round = 0
         self.halted = False
         self.output: Any = None
+        self._broadcast_only = broadcast_only
+        self._last_broadcast_round = -1
         self._outbox: list[tuple[Node, Any]] = []
 
     # ------------------------------------------------------------------ sends
     def send(self, dst: Node, payload: Any) -> None:
         """Queue ``payload`` for delivery to neighbour ``dst`` next round."""
+        if self._broadcast_only:
+            raise MessageAdmissionError(
+                f"node {self.node_id!r}: targeted send is not admitted in a "
+                f"broadcast-only model; use broadcast()"
+            )
         if dst not in self.neighbors:
             raise NotANeighborError(
                 f"node {self.node_id!r} tried to message non-neighbour {dst!r}"
@@ -46,7 +62,16 @@ class NodeContext:
         self._outbox.append((dst, payload))
 
     def broadcast(self, payload: Any) -> None:
-        """Queue ``payload`` for every neighbour."""
+        """Queue ``payload`` for every (communication) neighbour."""
+        if self._broadcast_only:
+            # Round-based, not outbox-based, so the one-broadcast-per-round
+            # contract also holds for degree-0 nodes (empty outboxes).
+            if self._last_broadcast_round == self.round:
+                raise MessageAdmissionError(
+                    f"node {self.node_id!r}: broadcast-only models admit one "
+                    f"identical payload to all neighbours per round"
+                )
+            self._last_broadcast_round = self.round
         self._outbox.extend((dst, payload) for dst in self.neighbors)
 
     # ----------------------------------------------------------------- control

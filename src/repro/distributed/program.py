@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Hashable
 from typing import Any
 
+from repro.distributed.errors import MessageAdmissionError
 from repro.distributed.node import NodeContext
 
 Node = Hashable
@@ -32,6 +33,33 @@ class NodeProgram(ABC):
         ``inbox`` maps each neighbour to the list of payloads it sent this
         round (empty lists are omitted).
         """
+
+
+class BroadcastNodeProgram(NodeProgram):
+    """Convenience base class for broadcast models (one payload per sender).
+
+    In broadcast-only models every neighbour contributes at most one payload
+    per round, so the inbox's per-sender lists are redundant;
+    :meth:`on_broadcast_round` receives a flat ``{sender: payload}`` mapping
+    instead.  Subclasses broadcast via ``ctx.broadcast`` exactly once per
+    round (the admission policy enforces this).
+    """
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        heard = {}
+        for sender, payloads in inbox.items():
+            if len(payloads) != 1:
+                raise MessageAdmissionError(
+                    f"node {ctx.node_id!r} received {len(payloads)} payloads "
+                    f"from {sender!r} in one round; BroadcastNodeProgram "
+                    f"requires a broadcast-only communication model"
+                )
+            heard[sender] = payloads[0]
+        self.on_broadcast_round(ctx, heard)
+
+    @abstractmethod
+    def on_broadcast_round(self, ctx: NodeContext, heard: dict[Node, Any]) -> None:
+        """Process one round; ``heard`` maps each neighbour to its broadcast."""
 
 
 class FunctionProgram(NodeProgram):

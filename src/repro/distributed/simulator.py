@@ -1,21 +1,30 @@
-"""Synchronous round simulator for the LOCAL and CONGEST models.
+"""Synchronous round simulator for the pluggable communication-model layer.
 
 The simulator executes one :class:`~repro.distributed.program.NodeProgram`
 instance per vertex of a communication graph, in lock-step rounds.  It is the
 "simple round simulator" substrate on which every distributed algorithm in
 this reproduction runs, and it is also the measurement instrument: it counts
-rounds, messages, bits, CONGEST bandwidth violations and (optionally) the
-bits crossing a designated vertex cut — the quantity the paper's two-party
+rounds, messages, bits, bandwidth violations and (optionally) the bits
+crossing a designated vertex cut — the quantity the paper's two-party
 lower-bound reductions charge to Alice and Bob.
+
+Which links exist, how many bits they carry per round and which send
+patterns are admitted is owned by a
+:class:`~repro.distributed.models.CommunicationModel` policy object (LOCAL,
+CONGEST, broadcast-CONGEST or Congested Clique).  Overlay models (the
+clique) decouple the *communication* topology from the input graph: messages
+travel on a virtual complete graph while programs still compute on the input
+graph exposed as ``ctx.graph_neighbors``.
 
 Two engines share the public API and produce identical results:
 
-* ``indexed`` (default) — runs on the graph's compiled CSR topology
-  (:meth:`~repro.graphs.base.BaseGraph.freeze`): contexts and programs live
-  in dense lists, an active-set scheduler skips halted vertices, inboxes are
-  materialised only for vertices with pending traffic, per-link CONGEST
-  accounting uses a preallocated array indexed by CSR arc position, and
-  message sizes are measured once per distinct payload object per round
+* ``indexed`` (default) — runs on the model's compiled communication
+  topology (:meth:`~repro.distributed.models.CommunicationModel.communication_topology`):
+  contexts and programs live in dense lists, an active-set scheduler skips
+  halted vertices, inboxes are materialised only for vertices with pending
+  traffic, per-link bandwidth accounting uses a preallocated array indexed
+  by CSR arc position, and message sizes are measured once per distinct
+  payload object per round
   (:class:`~repro.distributed.encoding.BitsMemo`).
 * ``reference`` — the original dict-of-dicts engine, kept as the
   differential-testing oracle and as the baseline the throughput benchmark
@@ -33,7 +42,7 @@ from typing import Any
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
 from repro.distributed.metrics import Metrics
-from repro.distributed.models import Model, ModelConfig, local_model
+from repro.distributed.models import CommunicationModel, LocalModel, Model, ModelConfig
 from repro.distributed.node import NodeContext
 from repro.distributed.program import NodeProgram
 from repro.graphs.digraph import DiGraph
@@ -57,6 +66,20 @@ class RunResult:
     def rounds(self) -> int:
         return self.metrics.rounds
 
+    def as_dict(self) -> dict[str, Any]:
+        """Summary of the run for benchmarks and reports.
+
+        Per-node outputs are summarised (not embedded) so the dictionary is
+        small enough for ``pytest-benchmark`` extra-info records.
+        """
+        return {
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "nodes": len(self.outputs),
+            "outputs_set": sum(1 for v in self.outputs.values() if v is not None),
+            "metrics": self.metrics.as_dict(),
+        }
+
 
 class Simulator:
     """Runs a node program on every vertex of a communication graph.
@@ -64,13 +87,16 @@ class Simulator:
     Parameters
     ----------
     graph:
-        The communication topology.  For a :class:`~repro.graphs.DiGraph` the
+        The input graph.  For a :class:`~repro.graphs.DiGraph` the
         *communication* links are bidirectional (as in the paper, Section
-        1.5), i.e. a node can message both in- and out-neighbours.
+        1.5), i.e. a node can message both in- and out-neighbours.  Overlay
+        models (Congested Clique) communicate over a virtual complete graph
+        instead, while programs keep computing on this input graph.
     program_factory:
         Called once per vertex to create that vertex's program instance.
     model:
-        LOCAL (default) or CONGEST bandwidth policy.
+        A :class:`~repro.distributed.models.CommunicationModel` policy
+        (default LOCAL): bandwidth budget, admission rules, topology.
     seed:
         Seeds the per-node private randomness deterministically.
     cut:
@@ -87,7 +113,7 @@ class Simulator:
         self,
         graph: Graph | DiGraph,
         program_factory: ProgramFactory,
-        model: ModelConfig | None = None,
+        model: CommunicationModel | None = None,
         seed: int | None = None,
         cut: Iterable[Node] | None = None,
         engine: str = "indexed",
@@ -96,19 +122,19 @@ class Simulator:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.program_factory = program_factory
-        self.model = model if model is not None else local_model(graph.number_of_nodes())
+        self.model = model if model is not None else LocalModel(graph.number_of_nodes())
         self.seed = seed
         self.cut = set(cut) if cut is not None else None
         self.engine = engine
-        self.topology = graph.freeze()
+        self.topology = self.model.communication_topology(graph)
 
     # --------------------------------------------------------------------- run
     def run(self, max_rounds: int = 10_000, raise_on_limit: bool = True) -> RunResult:
         """Execute the program until every node halts or ``max_rounds`` elapse."""
-        # Re-freeze so a graph mutated between construction and run() is
-        # observed identically by both engines (freeze() is cached when the
-        # graph is unchanged).
-        self.topology = self.graph.freeze()
+        # Re-derive the communication topology so a graph mutated between
+        # construction and run() is observed identically by both engines
+        # (freeze() is cached when the graph is unchanged).
+        self.topology = self.model.communication_topology(self.graph)
         if self.engine == "reference":
             return self._run_reference(max_rounds, raise_on_limit)
         return self._run_indexed(max_rounds, raise_on_limit)
@@ -116,10 +142,20 @@ class Simulator:
     # -------------------------------------------------------- indexed engine
     def _run_indexed(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
         topo = self.topology
+        model = self.model
         n = topo.n
         labels = topo.labels
         master = random.Random(self.seed)
         node_seeds = [master.randrange(2**63) for _ in range(n)]
+
+        # Overlay models: programs compute on the input graph, so expose its
+        # adjacency separately (overlay labels reuse graph.freeze() order,
+        # hence the index spaces coincide).
+        graph_sets: list[frozenset[Node]] | None = None
+        if model.uses_overlay:
+            graph_topo = self.graph.freeze()
+            graph_sets = [graph_topo.neighbor_label_set(i) for i in range(n)]
+        broadcast_only = model.broadcast_only
 
         contexts: list[NodeContext] = []
         programs: list[NodeProgram] = []
@@ -130,13 +166,16 @@ class Simulator:
                     neighbors=topo.neighbor_label_set(i),
                     n=n,
                     rng=random.Random(node_seeds[i]),
+                    graph_neighbors=graph_sets[i] if graph_sets is not None else None,
+                    broadcast_only=broadcast_only,
                 )
             )
             programs.append(self.program_factory(labels[i]))
 
         metrics = Metrics()
+        model.init_metrics(metrics)
         memo = BitsMemo()
-        budget = self.model.bandwidth_bits
+        budget = model.bandwidth_bits
         # Per-link running totals, indexed by CSR arc position; ``touched``
         # remembers which positions to zero between rounds so a round costs
         # O(messages), not O(arcs).
@@ -147,7 +186,7 @@ class Simulator:
             programs[i].on_start(contexts[i])
 
         pending = self._collect_indexed(
-            contexts, range(n), metrics, memo, budget, link_bits, touched
+            contexts, range(n), metrics, memo, budget, link_bits, touched, graph_sets
         )
         active = [i for i in range(n) if not contexts[i].halted]
 
@@ -166,7 +205,7 @@ class Simulator:
                 inbox = pending[i]
                 programs[i].on_round(ctx, inbox if inbox is not None else {})
             pending = self._collect_indexed(
-                contexts, active, metrics, memo, budget, link_bits, touched
+                contexts, active, metrics, memo, budget, link_bits, touched, graph_sets
             )
             active = [i for i in active if not contexts[i].halted]
 
@@ -182,12 +221,14 @@ class Simulator:
         budget: int | None,
         link_bits: array | None,
         touched: list[int],
+        graph_sets: list[frozenset[Node]] | None,
     ) -> list[dict[Node, list[Any]] | None]:
         """Drain outboxes, apply bandwidth accounting and build sparse inboxes."""
         topo = self.topology
         labels = topo.labels
         index = topo.index
         cut = self.cut
+        count_broadcasts = self.model.broadcast_only
         inboxes: list[dict[Node, list[Any]] | None] = [None] * topo.n
 
         messages = 0
@@ -196,6 +237,8 @@ class Simulator:
         cut_messages = 0
         cut_bits = 0
         violations = 0
+        broadcast_payloads = 0
+        virtual_messages = 0
 
         def flush() -> None:
             metrics.messages_sent += messages
@@ -204,8 +247,11 @@ class Simulator:
             metrics.cut_messages += cut_messages
             metrics.cut_bits += cut_bits
             metrics.bandwidth_violations += violations
-            if metrics.bits_per_round:
-                metrics.bits_per_round[-1] += bits_total
+            metrics.bits_per_round[-1] += bits_total
+            if broadcast_payloads:
+                metrics.bump("broadcast_payloads", broadcast_payloads)
+            if virtual_messages:
+                metrics.bump("virtual_link_messages", virtual_messages)
 
         for src_i in sender_ids:
             outbox = contexts[src_i]._outbox
@@ -214,6 +260,9 @@ class Simulator:
             contexts[src_i]._outbox = []
             src = labels[src_i]
             src_in_cut = cut is not None and src in cut
+            if count_broadcasts:
+                broadcast_payloads += 1
+            src_graph_set = graph_sets[src_i] if graph_sets is not None else None
             for dst, payload in outbox:
                 bits = memo.measure(payload)
                 messages += 1
@@ -223,6 +272,8 @@ class Simulator:
                 if cut is not None and (src_in_cut != (dst in cut)):
                     cut_messages += 1
                     cut_bits += bits
+                if src_graph_set is not None and dst not in src_graph_set:
+                    virtual_messages += 1
                 dst_i = index[dst]
                 if budget is not None:
                     pos = topo.arc_position(src_i, dst_i)
@@ -236,7 +287,7 @@ class Simulator:
                             raise BandwidthExceededError(
                                 f"message(s) on link {src!r}->{dst!r} use "
                                 f"{link_bits[pos]} bits, budget is {budget} "
-                                f"({self.model.model.value})"
+                                f"({self.model.name})"
                             )
                 if contexts[dst_i].halted:
                     continue
@@ -260,11 +311,20 @@ class Simulator:
     # ------------------------------------------------------ reference engine
     def _run_reference(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
         """The original dict-based engine, kept as the differential oracle."""
+        model = self.model
         nodes = list(self.graph.nodes())
         n = len(nodes)
-        neighbors = {v: frozenset(self.graph.neighbors(v)) for v in nodes}
+        neighbors = model.reference_neighbors(self.graph)
         master = random.Random(self.seed)
         node_seeds = {v: master.randrange(2**63) for v in nodes}
+
+        graph_neighbors: dict[Node, frozenset[Node]] | None = None
+        if model.uses_overlay:
+            graph_topo = self.graph.freeze()
+            graph_neighbors = {
+                v: graph_topo.neighbor_label_set(graph_topo.index[v]) for v in nodes
+            }
+        broadcast_only = model.broadcast_only
 
         contexts: dict[Node, NodeContext] = {}
         programs: dict[Node, NodeProgram] = {}
@@ -274,14 +334,17 @@ class Simulator:
                 neighbors=neighbors[v],
                 n=n,
                 rng=random.Random(node_seeds[v]),
+                graph_neighbors=graph_neighbors[v] if graph_neighbors is not None else None,
+                broadcast_only=broadcast_only,
             )
             programs[v] = self.program_factory(v)
 
         metrics = Metrics()
+        model.init_metrics(metrics)
         for v in nodes:
             programs[v].on_start(contexts[v])
 
-        pending = self._collect_messages(contexts, metrics)
+        pending = self._collect_messages(contexts, metrics, graph_neighbors)
         completed = all(ctx.halted for ctx in contexts.values())
 
         while not completed:
@@ -299,25 +362,35 @@ class Simulator:
                 ctx.round = metrics.rounds
                 inbox = pending.get(v, {})
                 programs[v].on_round(ctx, inbox)
-            pending = self._collect_messages(contexts, metrics)
+            pending = self._collect_messages(contexts, metrics, graph_neighbors)
             completed = all(ctx.halted for ctx in contexts.values())
 
         outputs = {v: contexts[v].output for v in nodes}
         return RunResult(outputs=outputs, metrics=metrics, completed=completed)
 
     def _collect_messages(
-        self, contexts: dict[Node, NodeContext], metrics: Metrics
+        self,
+        contexts: dict[Node, NodeContext],
+        metrics: Metrics,
+        graph_neighbors: dict[Node, frozenset[Node]] | None = None,
     ) -> dict[Node, dict[Node, list[Any]]]:
         """Reference-engine collection: per-link dicts rebuilt every round."""
         inboxes: dict[Node, dict[Node, list[Any]]] = {}
         budget = self.model.bandwidth_bits
+        count_broadcasts = self.model.broadcast_only
         per_link_bits: dict[tuple[Node, Node], int] = {}
 
         for src, ctx in contexts.items():
-            for dst, payload in ctx._drain_outbox():
+            outbox = ctx._drain_outbox()
+            if outbox and count_broadcasts:
+                metrics.bump("broadcast_payloads")
+            src_graph_set = graph_neighbors[src] if graph_neighbors is not None else None
+            for dst, payload in outbox:
                 bits = estimate_bits(payload)
                 crosses = self.cut is not None and ((src in self.cut) != (dst in self.cut))
                 metrics.record_message(bits, crosses)
+                if src_graph_set is not None and dst not in src_graph_set:
+                    metrics.bump("virtual_link_messages")
                 if budget is not None:
                     link = (src, dst)
                     per_link_bits[link] = per_link_bits.get(link, 0) + bits
@@ -327,7 +400,7 @@ class Simulator:
                             raise BandwidthExceededError(
                                 f"message(s) on link {src!r}->{dst!r} use "
                                 f"{per_link_bits[link]} bits, budget is {budget} "
-                                f"({self.model.model.value})"
+                                f"({self.model.name})"
                             )
                 if contexts[dst].halted:
                     continue
@@ -338,7 +411,7 @@ class Simulator:
 def run_program(
     graph: Graph | DiGraph,
     program_factory: ProgramFactory,
-    model: ModelConfig | None = None,
+    model: CommunicationModel | None = None,
     seed: int | None = None,
     max_rounds: int = 10_000,
     cut: Iterable[Node] | None = None,

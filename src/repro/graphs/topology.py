@@ -230,9 +230,31 @@ def compile_digraph(graph: "object") -> CompiledTopology:
     )
 
 
+def complete_overlay(labels: list[Node]) -> CompiledTopology:
+    """Virtual clique topology: every node adjacent to every other node.
+
+    Used by the Congested Clique communication model, whose messages travel
+    on an implicit complete graph regardless of the input graph's edges.
+    Neighbours of node ``i`` appear in label order (skipping ``i`` itself),
+    which is the same deterministic order both simulator engines observe.
+    All overlay links carry weight 1.0.
+    """
+    n = len(labels)
+    indptr = array(_INDEX_TYPECODE, [0]) * (n + 1)
+    indices = array(_INDEX_TYPECODE)
+    for i in range(n):
+        indices.extend(j for j in range(n) if j != i)
+        indptr[i + 1] = len(indices)
+    weights = array(_WEIGHT_TYPECODE, [1.0]) * len(indices)
+    return CompiledTopology(
+        list(labels), indptr, indices, weights, n * (n - 1) // 2, directed=False
+    )
+
+
 __all__ = [
     "CompiledTopology",
     "compile_adjacency",
     "compile_digraph",
     "compile_graph",
+    "complete_overlay",
 ]
