@@ -1,75 +1,12 @@
 """E1 — Theorem 1.3: the distributed 2-spanner's approximation ratio is O(log m/n).
 
-Measured: spanner size produced by the distributed algorithm divided by the
-exact optimum (small graphs) or the LP lower bound (medium graphs), compared
-with the paper's log2(m/n) yardstick, across graph families.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E01``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.core import run_two_spanner
-from repro.graphs import (
-    cluster_graph,
-    complete_graph,
-    connected_gnp_graph,
-    log_m_over_n,
-    overlapping_stars_graph,
-)
-from repro.spanner import is_k_spanner, lp_lower_bound_2spanner, minimum_k_spanner_exact
-
-SMALL_WORKLOADS = [
-    ("gnp n=14 p=0.45", connected_gnp_graph(14, 0.45, seed=1)),
-    ("gnp n=16 p=0.35", connected_gnp_graph(16, 0.35, seed=2)),
-    ("cluster 3x4", cluster_graph(3, 4, seed=3)),
-]
-# For a complete graph the optimum is known analytically (a single full star,
-# n-1 edges): any 2-spanner must be connected, and a star suffices.
-CLIQUE_WORKLOADS = [("clique n=12", complete_graph(12))]
-MEDIUM_WORKLOADS = [
-    ("gnp n=40 p=0.25", connected_gnp_graph(40, 0.25, seed=4)),
-    ("gnp n=60 p=0.15", connected_gnp_graph(60, 0.15, seed=5)),
-    ("stars 4x6", overlapping_stars_graph(4, 6, 2, seed=6)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in SMALL_WORKLOADS:
-        result = run_two_spanner(graph, seed=11)
-        assert is_k_spanner(graph, result.edges, 2)
-        opt = len(minimum_k_spanner_exact(graph, 2))
-        rows.append(
-            [name, graph.number_of_edges(), opt, result.size,
-             fmt(result.size / opt), fmt(log_m_over_n(graph)), "exact"]
-        )
-    for name, graph in CLIQUE_WORKLOADS:
-        result = run_two_spanner(graph, seed=11)
-        assert is_k_spanner(graph, result.edges, 2)
-        opt = graph.number_of_nodes() - 1
-        rows.append(
-            [name, graph.number_of_edges(), opt, result.size,
-             fmt(result.size / opt), fmt(log_m_over_n(graph)), "analytic (n-1)"]
-        )
-    for name, graph in MEDIUM_WORKLOADS:
-        result = run_two_spanner(graph, seed=11)
-        assert is_k_spanner(graph, result.edges, 2)
-        lp = max(1.0, lp_lower_bound_2spanner(graph))
-        rows.append(
-            [name, graph.number_of_edges(), fmt(lp), result.size,
-             fmt(result.size / lp), fmt(log_m_over_n(graph)), "LP bound"]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e01_two_spanner_ratio(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E1  Theorem 1.3: distributed 2-spanner approximation ratio",
-        ["workload", "m", "opt/LP", "alg size", "ratio", "log2(m/n)", "baseline"],
-        rows,
-    )
-    worst = max(float(r[4]) for r in rows)
-    record(benchmark, worst_ratio=worst, rows=len(rows))
-    # The paper's guarantee: ratio = O(log m/n).  Constant 16 is the empirical envelope.
-    for row in rows:
-        assert float(row[4]) <= 16 * max(1.0, float(row[5]))
+    bench_experiment(benchmark, "E01")

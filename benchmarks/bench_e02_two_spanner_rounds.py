@@ -1,51 +1,12 @@
 """E2 — Theorem 1.3: the algorithm finishes in O(log n log Delta) rounds w.h.p.
 
-Measured: iterations and simulator rounds of the distributed 2-spanner as the
-graph grows, against the log2(n) * log2(Delta) yardstick.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E02``); this file is the
+pytest-benchmark wrapper.
 """
 
-import math
-
-from common import fmt, print_table, record
-
-from repro.core import TwoSpannerOptions, run_two_spanner
-from repro.graphs import barabasi_albert_graph, connected_gnp_graph
-from repro.spanner import is_k_spanner
-
-WORKLOADS = [
-    ("gnp n=20", connected_gnp_graph(20, 0.30, seed=1)),
-    ("gnp n=40", connected_gnp_graph(40, 0.20, seed=2)),
-    ("gnp n=80", connected_gnp_graph(80, 0.12, seed=3)),
-    ("gnp n=120", connected_gnp_graph(120, 0.08, seed=4)),
-    ("ba n=100 m0=3", barabasi_albert_graph(100, 3, seed=5)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in WORKLOADS:
-        options = TwoSpannerOptions(densest_method="peeling")
-        result = run_two_spanner(graph, seed=9, options=options)
-        assert is_k_spanner(graph, result.edges, 2)
-        n, delta = graph.number_of_nodes(), graph.max_degree()
-        yardstick = math.log2(n) * math.log2(max(2, delta))
-        rows.append(
-            [name, n, delta, result.iterations, result.rounds,
-             fmt(yardstick), fmt(result.iterations / yardstick)]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e02_two_spanner_rounds(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E2  Theorem 1.3: rounds vs O(log n log Delta)",
-        ["workload", "n", "Delta", "iterations", "sim rounds", "log2(n)*log2(D)", "iters/yardstick"],
-        rows,
-    )
-    ratios = [float(r[6]) for r in rows]
-    record(benchmark, max_iter_over_yardstick=max(ratios))
-    # Shape check: the iteration count never explodes past the polylog envelope,
-    # and it does not grow linearly with n (n grows 6x across the sweep).
-    assert max(ratios) <= 10.0
-    assert rows[-2][3] <= 4 * rows[0][3] + 8
+    bench_experiment(benchmark, "E02")

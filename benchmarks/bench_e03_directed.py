@@ -1,53 +1,12 @@
 """E3 — Theorem 4.9: the directed 2-spanner variant keeps the O(log m/n) ratio.
 
-Measured: directed spanner size vs the exact directed optimum (small
-digraphs) and vs the directed LP bound (medium digraphs).
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E03``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.core import run_directed_two_spanner
-from repro.graphs import bidirect, complete_graph, random_digraph, random_tournament
-from repro.spanner import (
-    is_k_spanner_directed,
-    lp_lower_bound_2spanner_directed,
-    minimum_k_spanner_exact_directed,
-)
-
-SMALL = [
-    ("digraph n=10 p=0.35", random_digraph(10, 0.35, seed=1)),
-    ("digraph n=11 p=0.30", random_digraph(11, 0.30, seed=2)),
-    ("tournament n=8", random_tournament(8, seed=3)),
-    ("bidirected K6", bidirect(complete_graph(6))),
-]
-MEDIUM = [
-    ("digraph n=30 p=0.15", random_digraph(30, 0.15, seed=4)),
-    ("tournament n=20", random_tournament(20, seed=5)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in SMALL:
-        result = run_directed_two_spanner(graph, seed=7)
-        assert is_k_spanner_directed(graph, result.arcs, 2)
-        opt = len(minimum_k_spanner_exact_directed(graph, 2))
-        rows.append([name, graph.number_of_edges(), opt, result.size, fmt(result.size / opt), "exact"])
-    for name, graph in MEDIUM:
-        result = run_directed_two_spanner(graph, seed=7)
-        assert is_k_spanner_directed(graph, result.arcs, 2)
-        lp = max(1.0, lp_lower_bound_2spanner_directed(graph))
-        rows.append([name, graph.number_of_edges(), fmt(lp), result.size, fmt(result.size / lp), "LP bound"])
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e03_directed_two_spanner(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E3  Theorem 4.9: directed 2-spanner approximation",
-        ["workload", "m", "opt/LP", "alg size", "ratio", "baseline"],
-        rows,
-    )
-    worst = max(float(r[4]) for r in rows)
-    record(benchmark, worst_ratio=worst)
-    assert worst <= 24.0
+    bench_experiment(benchmark, "E03")

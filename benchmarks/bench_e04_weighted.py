@@ -1,51 +1,12 @@
 """E4 — Theorem 4.12: the weighted 2-spanner variant achieves O(log Delta).
 
-Measured: spanner cost vs the exact weighted optimum, across weight spreads W
-(the round bound is O(log n log (Delta W))), plus iteration counts.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E04``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.core import WeightedVariant, run_two_spanner
-from repro.graphs import (
-    assign_weights_from_choices,
-    connected_gnp_graph,
-    log_max_degree,
-)
-from repro.spanner import is_k_spanner, minimum_k_spanner_exact, spanner_cost
-
-SPREADS = [
-    ("W=1 (uniform)", [1.0]),
-    ("W=8", [1.0, 2.0, 8.0]),
-    ("W=64", [1.0, 8.0, 64.0]),
-    ("with zero weights", [0.0, 1.0, 4.0]),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, choices in SPREADS:
-        graph = connected_gnp_graph(13, 0.45, seed=3)
-        assign_weights_from_choices(graph, choices, seed=4)
-        result = run_two_spanner(graph, variant=WeightedVariant(), seed=5)
-        assert is_k_spanner(graph, result.edges, 2)
-        opt = minimum_k_spanner_exact(graph, 2, use_weights=True)
-        opt_cost = max(1e-9, spanner_cost(graph, opt))
-        ratio = result.cost(graph) / opt_cost if opt_cost > 1e-6 else 1.0
-        rows.append(
-            [name, fmt(opt_cost), fmt(result.cost(graph)), fmt(ratio),
-             fmt(log_max_degree(graph)), result.iterations]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e04_weighted_two_spanner(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E4  Theorem 4.12: weighted 2-spanner, cost vs exact optimum",
-        ["weights", "opt cost", "alg cost", "ratio", "log2(Delta)", "iterations"],
-        rows,
-    )
-    worst = max(float(r[3]) for r in rows)
-    record(benchmark, worst_ratio=worst)
-    assert worst <= 16 * max(float(r[4]) for r in rows)
+    bench_experiment(benchmark, "E04")

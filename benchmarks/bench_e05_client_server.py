@@ -1,51 +1,12 @@
 """E5 — Theorem 4.15: client-server 2-spanner, ratio O(min(log |C|/|V(C)|, log Delta_S)).
 
-Measured: chosen server edges vs the exact optimum for random client/server
-splits of varying server density, plus the theorem's two yardsticks.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E05``); this file is the
+pytest-benchmark wrapper.
 """
 
-import math
-
-from common import fmt, print_table, record
-
-from repro.core import client_server_two_spanner
-from repro.graphs import connected_gnp_graph, random_split_instance
-from repro.spanner import is_client_server_2_spanner, minimum_client_server_2_spanner_exact
-
-SPLITS = [
-    ("clients 0.5 / servers 0.9", 0.5, 0.9),
-    ("clients 0.7 / servers 0.7", 0.7, 0.7),
-    ("clients 0.9 / servers 0.5", 0.9, 0.5),
-    ("all clients / all servers", 1.0, 1.0),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, c_frac, s_frac in SPLITS:
-        graph = connected_gnp_graph(12, 0.5, seed=6)
-        inst = random_split_instance(graph, client_fraction=c_frac, server_fraction=s_frac, seed=7)
-        result = client_server_two_spanner(inst, seed=8)
-        assert is_client_server_2_spanner(inst, result.edges)
-        opt = minimum_client_server_2_spanner_exact(inst)
-        opt_size = max(1, len(opt))
-        ratio = result.size / opt_size
-        log_c_vc = math.log2(max(2.0, len(inst.clients) / max(1, len(inst.client_vertices()))))
-        log_ds = math.log2(max(2, inst.server_max_degree()))
-        rows.append(
-            [name, len(inst.clients), len(inst.servers), opt_size, result.size,
-             fmt(ratio), fmt(min(log_c_vc, log_ds))]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e05_client_server(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E5  Theorem 4.15: client-server 2-spanner",
-        ["split", "|C|", "|S|", "opt", "alg", "ratio", "min(log C/VC, log Ds)"],
-        rows,
-    )
-    worst = max(float(r[5]) for r in rows)
-    record(benchmark, worst_ratio=worst)
-    assert worst <= 16 * max(1.0, max(float(r[6]) for r in rows))
+    bench_experiment(benchmark, "E05")

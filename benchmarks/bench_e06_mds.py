@@ -1,67 +1,12 @@
 """E6 — Theorem 5.1: CONGEST MDS with a *guaranteed* O(log Delta) ratio.
 
-Measured: dominating-set sizes of the paper's algorithm vs the exact optimum
-(small), the sequential greedy and the expectation-only randomised baseline
-(larger graphs), plus round counts and CONGEST message sizes.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_mds``, experiment ``E06``); this file is the
+pytest-benchmark wrapper.
 """
 
-import math
-
-from common import fmt, print_table, record
-
-from repro.baselines import (
-    exact_dominating_set,
-    expectation_randomized_mds,
-    greedy_dominating_set,
-)
-from repro.core import run_mds
-from repro.graphs import barabasi_albert_graph, connected_gnp_graph, grid_graph, is_dominating_set
-
-SMALL = [
-    ("gnp n=16 p=0.3", connected_gnp_graph(16, 0.3, seed=1)),
-    ("gnp n=18 p=0.25", connected_gnp_graph(18, 0.25, seed=2)),
-]
-LARGE = [
-    ("gnp n=80 p=0.06", connected_gnp_graph(80, 0.06, seed=3)),
-    ("ba n=100", barabasi_albert_graph(100, 2, seed=4)),
-    ("grid 10x10", grid_graph(10, 10)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in SMALL:
-        result = run_mds(graph, seed=5)
-        assert is_dominating_set(graph, result.dominators)
-        opt = len(exact_dominating_set(graph))
-        metrics = result.metrics.as_dict()
-        rows.append(
-            [name, opt, result.size, len(greedy_dominating_set(graph)),
-             len(expectation_randomized_mds(graph, seed=6)),
-             result.iterations, metrics["max_message_bits"]]
-        )
-    for name, graph in LARGE:
-        result = run_mds(graph, seed=5)
-        assert is_dominating_set(graph, result.dominators)
-        metrics = result.metrics.as_dict()
-        rows.append(
-            [name, "-", result.size, len(greedy_dominating_set(graph)),
-             len(expectation_randomized_mds(graph, seed=6)),
-             result.iterations, metrics["max_message_bits"]]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e06_mds(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E6  Theorem 5.1: guaranteed O(log Delta) MDS in CONGEST",
-        ["workload", "exact", "paper alg", "greedy", "expectation-only", "iterations", "max msg bits"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    # Guaranteed-ratio algorithm stays within O(log Delta) of greedy (itself ~ln Delta of OPT).
-    for row in rows:
-        assert row[2] <= 8 * row[3] + 8
-    # CONGEST: every message stays within O(log n) bits (the simulator enforces it too).
-    assert all(row[6] <= 32 * math.ceil(math.log2(110)) for row in rows)
+    bench_experiment(benchmark, "E06")

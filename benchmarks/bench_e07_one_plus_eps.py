@@ -1,45 +1,12 @@
 """E7 — Theorem 1.2: (1+eps)-approximate minimum k-spanner in the LOCAL model.
 
-Measured: spanner size vs the exact optimum for a sweep of eps and k on small
-graphs (the algorithm assumes unbounded local computation), plus the emulated
-poly(log n / eps) round estimate.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_spanner``, experiment ``E07``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.core import one_plus_eps_spanner
-from repro.graphs import connected_gnp_graph
-from repro.spanner import is_k_spanner, minimum_k_spanner_exact
-
-SWEEP = [
-    (2, 1.0),
-    (2, 0.5),
-    (2, 0.25),
-    (3, 0.5),
-]
-
-
-def run_experiment():
-    rows = []
-    graph = connected_gnp_graph(11, 0.4, seed=3)
-    for k, eps in SWEEP:
-        result = one_plus_eps_spanner(graph, k=k, epsilon=eps, seed=4)
-        assert is_k_spanner(graph, result.edges, k)
-        opt = len(minimum_k_spanner_exact(graph, k))
-        rows.append(
-            [f"k={k} eps={eps}", opt, result.size, fmt(result.size / opt),
-             fmt(1 + eps), result.r, result.rounds_estimate]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e07_one_plus_eps(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E7  Theorem 1.2: (1+eps)-approximation in LOCAL",
-        ["setting", "opt", "alg size", "ratio", "1+eps", "r", "round estimate"],
-        rows,
-    )
-    record(benchmark, worst_ratio=max(float(r[3]) for r in rows))
-    for row in rows:
-        assert float(row[3]) <= float(row[4]) + 0.15  # within (1+eps) up to integrality slack
+    bench_experiment(benchmark, "E07")

@@ -1,67 +1,12 @@
 """E8 — Figure 1 + Claim 2.2 + Lemma 2.3: the randomised lower-bound construction.
 
-Measured: for G(ell, beta) built from disjoint vs intersecting inputs, the
-size of the sparse spanner available in the disjoint case versus the number
-of dense-component edges forced into *any* spanner in the intersecting case.
-The gap (forced / sparse) is what makes an alpha-approximation reveal
-disjointness.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_lowerbounds``, experiment ``E08``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.lowerbounds import (
-    build_construction_g,
-    claim_2_2_holds,
-    disjoint_case_spanner,
-    minimum_required_d_edges,
-    random_disjoint_instance,
-    random_intersecting_instance,
-)
-from repro.spanner import is_k_spanner_directed
-
-SETTINGS = [
-    (3, 10),
-    (3, 22),
-    (4, 30),
-]
-
-
-def run_experiment():
-    rows = []
-    for ell, beta in SETTINGS:
-        n_bits = ell * ell
-        disjoint = build_construction_g(ell, beta, random_disjoint_instance(n_bits, seed=1))
-        intersecting = build_construction_g(
-            ell, beta, random_intersecting_instance(n_bits, intersections=1, seed=2)
-        )
-        claim = all(
-            claim_2_2_holds(cg, i, r)
-            for cg in (disjoint, intersecting)
-            for i in range(1, ell + 1)
-            for r in range(1, ell + 1)
-        )
-        sparse = disjoint_case_spanner(disjoint)
-        sparse_valid = is_k_spanner_directed(disjoint.graph, sparse, 5)
-        forced = minimum_required_d_edges(intersecting)
-        rows.append(
-            [f"ell={ell} beta={beta}", disjoint.n, len(disjoint.d_edges), claim,
-             sparse_valid, len(sparse), disjoint.sparse_spanner_bound(), forced,
-             fmt(forced / max(1, len(sparse)))]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e08_construction_g(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E8  Figure 1 / Lemma 2.3: spanner-size gap of G(ell, beta)",
-        ["params", "n", "|D|", "Claim2.2", "sparse valid", "sparse size",
-         "c*ell*beta", "forced D edges", "gap"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    for row in rows:
-        assert row[3] and row[4]
-        assert row[5] <= row[6]          # Lemma 2.3 upper bound on the disjoint case
-    # With beta > c*ell the single-intersection case already exceeds the sparse bound.
-    assert rows[1][7] > rows[1][6]
+    bench_experiment(benchmark, "E08")

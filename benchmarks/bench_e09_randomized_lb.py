@@ -1,58 +1,12 @@
-"""E9 — Theorem 1.1: the two-party simulation behind the Omega(sqrt(n)/(sqrt(alpha) log n)) bound.
+"""E9 — Theorem 1.1: the two-party simulation behind the round lower bound.
 
-Measured: running the reference CONGEST protocol on G(ell, beta) with the
-Alice/Bob partition of the proof, the bits crossing the cut (must be Omega(N)
-for any correct algorithm), the cut size (Theta(ell)), the implied round
-lower bound N/(cut * O(log n)) and the theorem's sqrt(n)/(sqrt(alpha) log n)
-yardstick, as n grows.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_lowerbounds``, experiment ``E09``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.lowerbounds import (
-    build_construction_g,
-    random_disjoint_instance,
-    random_intersecting_instance,
-    simulate_reduction,
-    theorem_1_1_parameters,
-)
-
-
-def run_experiment():
-    rows = []
-    alpha = 1.0
-    for n_target in (300, 700, 1500):
-        ell, beta = theorem_1_1_parameters(n_target, alpha)
-        n_bits = ell * ell
-        for label, instance in (
-            ("disjoint", random_disjoint_instance(n_bits, seed=n_target)),
-            ("1 intersection", random_intersecting_instance(n_bits, 1, seed=n_target + 1)),
-        ):
-            cg = build_construction_g(ell, beta, instance)
-            report = simulate_reduction(cg, alpha=alpha)
-            assert report.decision_correct
-            rows.append(
-                [f"n'={n_target} ({label})", report.n, report.ell, report.beta,
-                 report.cut_edges, report.cut_bits, report.disjointness_bits_needed,
-                 report.rounds, fmt(report.implied_rounds_lower_bound),
-                 fmt(report.theorem_rounds_lower_bound)]
-            )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e09_randomized_lower_bound(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E9  Theorem 1.1: Alice/Bob simulation on G(ell, beta)  (alpha = 1)",
-        ["instance", "n", "ell", "beta", "cut edges", "cut bits measured",
-         "bits needed (Omega(N))", "protocol rounds", "implied LB rounds", "thm yardstick"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    for row in rows:
-        # The reference protocol really ships Theta(N) bits across the cut.
-        assert row[5] >= row[6] // 4
-        # Cut stays Theta(ell): the construction is non-symmetric by design.
-        assert row[4] == 3 * row[2]
-    # Larger constructions force more cut communication (monotone in n).
-    assert rows[-1][5] > rows[0][5]
+    bench_experiment(benchmark, "E09")

@@ -1,56 +1,12 @@
 """E10 — Lemma 2.6 + Theorem 2.8: the deterministic bound via gap disjointness.
 
-Measured: for beta <= ell (the deterministic parameter regime), the spanner
-sizes of the disjoint case (<= c*ell^2) versus the D edges forced by
-far-from-disjoint inputs (>= beta^2/12 * ell^2), and the threshold pair
-(t, alpha*t) of Lemma 2.7.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_lowerbounds``, experiment ``E10``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.lowerbounds import (
-    build_construction_g,
-    claim_2_2_holds,
-    deterministic_gap_threshold,
-    disjoint_case_spanner,
-    minimum_required_d_edges,
-    random_disjoint_instance,
-    random_far_from_disjoint_instance,
-    theorem_2_8_parameters,
-)
-
-
-def run_experiment():
-    rows = []
-    for n_target, alpha in ((1000, 1.0), (1600, 1.0), (2500, 2.0)):
-        ell, beta = theorem_2_8_parameters(n_target, alpha)
-        n_bits = ell * ell
-        disjoint = build_construction_g(ell, beta, random_disjoint_instance(n_bits, seed=3))
-        far = build_construction_g(ell, beta, random_far_from_disjoint_instance(n_bits, seed=4))
-        sparse = disjoint_case_spanner(disjoint)
-        # Spot-check Claim 2.2 (full spanner verification at this scale is done in E8/tests).
-        assert all(claim_2_2_holds(disjoint, i, i) for i in range(1, min(ell, 4) + 1))
-        t, alpha_t = deterministic_gap_threshold(disjoint, alpha)
-        forced = minimum_required_d_edges(far)
-        lemma_bound = (beta**2) * (ell**2) // 12
-        rows.append(
-            [f"n'={n_target} alpha={alpha}", disjoint.n, ell, beta, len(sparse),
-             t, fmt(alpha_t), forced, lemma_bound,
-             "yes" if forced > alpha_t else "no"]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e10_gap_disjointness(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E10  Lemma 2.6 / Theorem 2.8: gap-disjointness regime (beta <= ell)",
-        ["params", "n", "ell", "beta", "sparse size", "t=c*ell^2", "alpha*t",
-         "forced D edges", "beta^2*ell^2/12", "gap detectable"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    for row in rows:
-        assert row[4] <= row[5]            # Lemma 2.6, disjoint side
-        assert row[7] >= row[8]            # Lemma 2.6, far-from-disjoint side
-        assert row[9] == "yes"             # Lemma 2.7's threshold separates the cases
+    bench_experiment(benchmark, "E10")

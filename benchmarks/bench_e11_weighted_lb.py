@@ -1,54 +1,12 @@
 """E11 — Figure 2 + Theorems 2.9 / 2.10: the weighted lower-bound constructions.
 
-Measured: for G_w(ell) (directed, k >= 4) and its undirected path-extended
-variant (stretch k), whether a zero-cost spanner exists — it must exist
-exactly for disjoint inputs — and the cut size (Theta(ell)), which is what
-turns the Omega(N) communication bound into an Omega(n / log n) round bound.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_lowerbounds``, experiment ``E11``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import print_table, record
-
-from repro.lowerbounds import (
-    build_construction_gw,
-    build_construction_gw_undirected,
-    has_zero_cost_spanner,
-    has_zero_cost_spanner_undirected,
-    random_disjoint_instance,
-    random_intersecting_instance,
-)
-
-
-def run_experiment():
-    rows = []
-    for ell in (4, 8, 12):
-        n_bits = ell * ell
-        disjoint_inst = random_disjoint_instance(n_bits, seed=ell)
-        intersect_inst = random_intersecting_instance(n_bits, 1, seed=ell + 1)
-        gw_d = build_construction_gw(ell, disjoint_inst)
-        gw_i = build_construction_gw(ell, intersect_inst)
-        rows.append(
-            [f"directed k=4, ell={ell}", gw_d.graph.number_of_nodes(), len(gw_d.cut_edges()),
-             has_zero_cost_spanner(gw_d, 4), has_zero_cost_spanner(gw_i, 4)]
-        )
-        for k in (4, 6):
-            und_d = build_construction_gw_undirected(ell, disjoint_inst, k=k)
-            und_i = build_construction_gw_undirected(ell, intersect_inst, k=k)
-            rows.append(
-                [f"undirected k={k}, ell={ell}", und_d.graph.number_of_nodes(), 3 * ell,
-                 has_zero_cost_spanner_undirected(und_d),
-                 has_zero_cost_spanner_undirected(und_i)]
-            )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e11_weighted_lower_bound(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E11  Figure 2 / Theorems 2.9-2.10: zero-cost spanner iff inputs disjoint",
-        ["construction", "n", "cut edges", "zero-cost (disjoint)", "zero-cost (intersecting)"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    for row in rows:
-        assert row[3] is True
-        assert row[4] is False
+    bench_experiment(benchmark, "E11")

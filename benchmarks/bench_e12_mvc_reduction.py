@@ -1,67 +1,12 @@
 """E12 — Figure 3 + Claim 3.1 + Lemma 3.2: weighted 2-spanner vs minimum vertex cover.
 
-Measured: on small graphs, the exact minimum weighted 2-spanner cost of the
-reduction graph G_S equals the exact MVC size of G (Claim 3.1); on larger
-graphs, running the paper's *weighted 2-spanner algorithm* on G_S and
-converting the output yields a vertex cover whose size is bounded by the
-spanner cost (the Lemma 3.2 transfer, which is how MVC lower bounds carry
-over to weighted 2-spanners).
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_lowerbounds``, experiment ``E12``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.core import WeightedVariant, run_two_spanner
-from repro.graphs import connected_gnp_graph, cycle_graph, path_graph
-from repro.lowerbounds import (
-    build_mvc_reduction,
-    exact_vertex_cover,
-    greedy_matching_vertex_cover,
-    is_vertex_cover,
-    spanner_to_vertex_cover,
-)
-from repro.lowerbounds.mvc_reduction import spanner_cost as reduction_cost
-from repro.spanner import is_k_spanner, minimum_k_spanner_exact
-
-SMALL = [
-    ("path n=6", path_graph(6)),
-    ("cycle n=7", cycle_graph(7)),
-    ("gnp n=8 p=0.35", connected_gnp_graph(8, 0.35, seed=1)),
-]
-LARGE = [
-    ("gnp n=14 p=0.3", connected_gnp_graph(14, 0.3, seed=2)),
-    ("gnp n=18 p=0.2", connected_gnp_graph(18, 0.2, seed=3)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in SMALL:
-        reduction = build_mvc_reduction(graph)
-        mvc = len(exact_vertex_cover(graph))
-        opt_spanner = minimum_k_spanner_exact(reduction.reduced, 2, use_weights=True)
-        cost = sum(reduction.reduced.weight(*e) for e in opt_spanner)
-        rows.append([name, "exact", mvc, fmt(cost), "-", "equal" if cost == mvc else "DIFFERENT"])
-    for name, graph in LARGE:
-        reduction = build_mvc_reduction(graph)
-        result = run_two_spanner(reduction.reduced, variant=WeightedVariant(), seed=4)
-        assert is_k_spanner(reduction.reduced, result.edges, 2)
-        cover = spanner_to_vertex_cover(reduction, result.edges)
-        assert is_vertex_cover(graph, cover)
-        greedy = len(greedy_matching_vertex_cover(graph))
-        rows.append(
-            [name, "distributed weighted 2-spanner", len(cover),
-             fmt(result.cost(reduction.reduced)), greedy,
-             "cover<=cost" if len(cover) <= result.cost(reduction.reduced) + 1e-9 else "VIOLATION"]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e12_mvc_reduction(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E12  Figure 3 / Claim 3.1: weighted 2-spanner of G_S vs vertex cover of G",
-        ["workload", "solver", "cover size", "spanner cost", "greedy 2-approx VC", "check"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    assert all(row[5] in ("equal", "cover<=cost") for row in rows)
+    bench_experiment(benchmark, "E12")

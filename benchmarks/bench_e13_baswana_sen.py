@@ -1,44 +1,12 @@
-"""E13 — Section 1 discussion: undirected CONGEST O(n^{1/k})-approximation via
-(2k-1)-spanners (Baswana-Sen).
+"""E13 — Section 1: undirected CONGEST approximation via Baswana-Sen (2k-1)-spanners.
 
-Measured: spanner sizes of the Baswana-Sen construction against the
-O(k * n^{1+1/k}) expected-size bound, and the implied approximation ratio
-size/(n-1) against the O(n^{1/k}) yardstick — the undirected counterpart the
-paper's directed lower bound separates from.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_baselines``, experiment ``E13``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.baselines import baswana_sen_spanner, expected_size_bound, implied_approximation_ratio
-from repro.graphs import connected_gnp_graph
-from repro.spanner import is_k_spanner
-
-
-def run_experiment():
-    rows = []
-    graph = connected_gnp_graph(120, 0.25, seed=3)
-    n = graph.number_of_nodes()
-    for k in (1, 2, 3, 4):
-        spanner = baswana_sen_spanner(graph, k=k, seed=k)
-        assert is_k_spanner(graph, spanner, 2 * k - 1)
-        ratio = implied_approximation_ratio(graph, len(spanner))
-        rows.append(
-            [f"k={k} (stretch {2*k-1})", graph.number_of_edges(), len(spanner),
-             fmt(expected_size_bound(n, k), 1), fmt(ratio), fmt(n ** (1.0 / k), 2)]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e13_baswana_sen(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E13  Baswana-Sen (2k-1)-spanners and the implied O(n^{1/k}) approximation",
-        ["setting", "m", "spanner size", "k*n^{1+1/k} bound", "size/(n-1)", "n^{1/k}"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    sizes = [row[2] for row in rows]
-    assert sizes[0] >= sizes[1] >= sizes[2]          # sparser as k grows
-    for row in rows:
-        assert row[2] <= 4 * float(row[3])           # within the expected-size envelope
-        assert float(row[4]) <= 4 * float(row[5])    # implied ratio tracks n^{1/k}
+    bench_experiment(benchmark, "E13")

@@ -1,63 +1,12 @@
 """E14 — Section 4 context: head-to-head comparison on a shared graph suite.
 
-Measured: 2-spanner sizes of (a) the paper's distributed algorithm, (b) the
-Kortsarz-Peleg sequential greedy it matches, (c) the trivial take-all
-n-approximation, and (d) the n-1 connectivity floor.  The expected shape:
-distributed ~ greedy << take-all on dense graphs, all equal on trees /
-bipartite graphs where no 2-spanner can drop edges.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_baselines``, experiment ``E14``); this file is the
+pytest-benchmark wrapper.
 """
 
-from common import fmt, print_table, record
-
-from repro.baselines import greedy_two_spanner, take_all_spanner
-from repro.core import TwoSpannerOptions, run_two_spanner
-from repro.graphs import (
-    cluster_graph,
-    complete_bipartite_graph,
-    complete_graph,
-    connected_gnp_graph,
-    path_graph,
-)
-from repro.spanner import is_k_spanner
-
-WORKLOADS = [
-    ("path n=30", path_graph(30)),
-    ("bipartite K5,6", complete_bipartite_graph(5, 6)),
-    ("clique n=20", complete_graph(20)),
-    ("gnp n=40 p=0.3", connected_gnp_graph(40, 0.3, seed=1)),
-    ("gnp n=60 p=0.2", connected_gnp_graph(60, 0.2, seed=2)),
-    ("cluster 4x8", cluster_graph(4, 8, seed=3)),
-]
-
-
-def run_experiment():
-    rows = []
-    for name, graph in WORKLOADS:
-        distributed = run_two_spanner(
-            graph, seed=5, options=TwoSpannerOptions(densest_method="peeling")
-        )
-        assert is_k_spanner(graph, distributed.edges, 2)
-        greedy = greedy_two_spanner(graph, method="peeling")
-        rows.append(
-            [name, graph.number_of_edges(), distributed.size, len(greedy),
-             len(take_all_spanner(graph)), graph.number_of_nodes() - 1,
-             fmt(distributed.size / max(1, len(greedy)))]
-        )
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e14_baseline_comparison(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E14  Distributed (Thm 1.3) vs Kortsarz-Peleg greedy vs take-all",
-        ["workload", "m", "distributed", "KP greedy", "take-all", "n-1 floor", "dist/greedy"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    for row in rows:
-        assert row[2] <= row[4]                  # never worse than take-all
-        assert row[2] >= row[5]                  # never below the connectivity floor
-        assert float(row[6]) <= 4.0              # tracks the greedy baseline
-    # On the clique the savings are dramatic for both (take-all is ~n/2 times larger).
-    clique = rows[2]
-    assert clique[4] >= 4 * clique[2]
+    bench_experiment(benchmark, "E14")

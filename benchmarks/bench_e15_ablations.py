@@ -1,61 +1,12 @@
 """E15 — Ablations of the paper's design choices (Sections 4.1-4.2).
 
-Measured on a shared workload:
-
-* exact densest stars (the paper's polynomial flow computation) vs the
-  peeling 2-approximation;
-* the Section 4.1 cross-iteration star re-selection rule vs always picking a
-  fresh densest star (the paper argues the rule is needed for the
-  O(log n log Delta) bound);
-* the 1/8 vote-acceptance threshold vs a stricter 1/2 threshold.
-
-Reported: spanner size and iteration count for each configuration.
+Workloads, invariants and table live in the scenario registry
+(``repro.experiments.defs_baselines``, experiment ``E15``); this file is the
+pytest-benchmark wrapper.
 """
 
-from fractions import Fraction
-
-from common import print_table, record
-
-from repro.core import TwoSpannerOptions, run_two_spanner
-from repro.graphs import cluster_graph, connected_gnp_graph
-from repro.spanner import is_k_spanner
-
-CONFIGS = [
-    ("paper defaults", TwoSpannerOptions()),
-    ("peeling densest star", TwoSpannerOptions(densest_method="peeling")),
-    ("no star re-selection rule", TwoSpannerOptions(follow_paper_rule=False)),
-    ("vote threshold 1/2", TwoSpannerOptions(vote_fraction=Fraction(1, 2))),
-    ("star threshold rho/8", TwoSpannerOptions(threshold_divisor=8)),
-]
-
-WORKLOADS = [
-    ("gnp n=30 p=0.3", connected_gnp_graph(30, 0.3, seed=7)),
-    ("cluster 3x7", cluster_graph(3, 7, seed=8)),
-]
-
-
-def run_experiment():
-    rows = []
-    for wname, graph in WORKLOADS:
-        for cname, options in CONFIGS:
-            result = run_two_spanner(graph, seed=11, options=options)
-            assert is_k_spanner(graph, result.edges, 2)
-            rows.append([wname, cname, result.size, result.iterations, result.fallback_count])
-    return rows
+from repro.experiments import bench_experiment
 
 
 def test_e15_ablations(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    print_table(
-        "E15  Ablations of the Section 4 design choices",
-        ["workload", "configuration", "spanner size", "iterations", "selection fallbacks"],
-        rows,
-    )
-    record(benchmark, rows=len(rows))
-    # All configurations stay valid; the defaults never use the fallback branch
-    # (Claim 4.4), and no ablation changes the spanner size by more than 2x.
-    defaults = {row[0]: row[2] for row in rows if row[1] == "paper defaults"}
-    for row in rows:
-        if row[1] == "paper defaults":
-            assert row[4] == 0
-        assert row[2] <= 2 * defaults[row[0]] + 8
+    bench_experiment(benchmark, "E15")

@@ -1,91 +1,15 @@
 """E17 — Congested Clique 2-spanner vs the paper's CONGEST 2-spanner.
 
-The Congested Clique workload (Parter-Yogev-style hitting-set sampling,
-``core/clique_two_spanner.py``) finishes in exactly ``2*ceil(log2 n) + 2``
-rounds with O(log n)-bit messages, where the paper's algorithm — run under a
-non-enforcing CONGEST policy so its oversized LOCAL messages are *recorded*
-rather than rejected — pays hundreds of rounds and per-link bandwidth
-violations.  The experiment reports rounds, total bits, spanner size and the
-violation count side by side, on both simulator engines, and verifies:
-
-* the clique output is a valid 2-spanner of every instance;
-* its round count stays within ``C_LOG * log2(n)`` (the O(log n) claim);
-* both engines produce identical physics.
+The O(log n)-round clique workload is compared against the CONGEST
+algorithm (run non-enforcing, so oversized messages are recorded rather
+than rejected) on both simulator engines.  Scenarios, engine-equality and
+round-count invariants live in the scenario registry
+(``repro.experiments.defs_substrate``, experiment ``E17``); this file is
+the pytest-benchmark wrapper.
 """
 
-import math
-
-from common import print_table, record
-
-from repro.core import clique_spanner_round_bound, run_clique_two_spanner, run_two_spanner
-from repro.distributed import congest_model
-from repro.graphs import gnp_random_graph
-from repro.spanner import is_k_spanner
-
-INSTANCES = [(48, 0.20, 3), (96, 0.20, 5)]
-RUN_SEED = 2
-C_LOG = 3  # rounds <= C_LOG * log2(n): holds since 2*ceil(log2 n)+2 <= 3*log2 n for n >= 16
-
-
-def run_experiment():
-    out = []
-    for n, p, graph_seed in INSTANCES:
-        graph = gnp_random_graph(n, p, seed=graph_seed)
-        clique = {}
-        for engine in ("indexed", "reference"):
-            result = run_clique_two_spanner(graph, seed=RUN_SEED, engine=engine)
-            assert is_k_spanner(graph, result.edges, 2), f"invalid 2-spanner (n={n}, {engine})"
-            assert result.rounds <= C_LOG * math.log2(n), (
-                f"clique spanner used {result.rounds} rounds on n={n}; "
-                f"bound is {C_LOG}*log2(n) = {C_LOG * math.log2(n):.1f}"
-            )
-            assert result.rounds == clique_spanner_round_bound(n)
-            clique[engine] = result
-        assert clique["indexed"].edges == clique["reference"].edges
-        assert clique["indexed"].metrics.as_dict() == clique["reference"].metrics.as_dict()
-
-        congest = run_two_spanner(
-            graph, seed=RUN_SEED, model=congest_model(n, enforce=False)
-        )
-        assert is_k_spanner(graph, congest.edges, 2)
-        out.append({"n": n, "p": p, "m": graph.number_of_edges(),
-                    "clique": clique["indexed"], "congest": congest})
-    return out
+from repro.experiments import bench_experiment
 
 
 def test_e17_congested_clique(benchmark):
-    rows_data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    rows = []
-    for item in rows_data:
-        clique, congest = item["clique"], item["congest"]
-        for label, result in (("clique", clique), ("congest", congest)):
-            metrics = result.metrics.as_dict()
-            rows.append([
-                item["n"], item["m"], label, result.rounds, len(result.edges),
-                metrics["bits_sent"], metrics["bandwidth_violations"],
-            ])
-    print_table(
-        "E17  Congested Clique vs CONGEST 2-spanner (G(n, p), both fixed-seed)",
-        ["n", "m", "model", "rounds", "spanner edges", "bits", "violations"],
-        rows,
-    )
-    record(
-        benchmark,
-        instances=[
-            {
-                "n": item["n"],
-                "p": item["p"],
-                "m": item["m"],
-                "clique_rounds": item["clique"].rounds,
-                "clique_edges": len(item["clique"].edges),
-                "clique_metrics": item["clique"].metrics.as_dict(),
-                "congest_rounds": item["congest"].rounds,
-                "congest_edges": len(item["congest"].edges),
-                "congest_metrics": item["congest"].metrics.as_dict(),
-            }
-            for item in rows_data
-        ],
-    )
-    for item in rows_data:
-        # The whole point of the clique model: exponentially fewer rounds.
-        assert item["clique"].rounds < item["congest"].rounds
+    bench_experiment(benchmark, "E17")

@@ -1,40 +1,29 @@
-"""Shared helpers for the experiment benchmarks (E1-E15).
+"""Shared helpers for the experiment benchmarks.
 
-Every benchmark prints the rows it reproduces (run pytest with ``-s`` to see
-them) and stores the same numbers in ``benchmark.extra_info`` so they survive
-in the pytest-benchmark JSON output.  The paper has no measurement tables —
-it is a theory paper — so each experiment measures the quantity bounded by
-one theorem/claim/figure and reports it next to the theorem's yardstick.
+Since the experiment orchestration subsystem (``repro.experiments``) the
+benchmarks are thin pytest-benchmark wrappers over the scenario registry —
+see :func:`repro.experiments.bench_experiment`.  This module remains as a
+small compatibility layer: ``print_table`` / ``fmt`` re-export the package
+implementations, and :func:`record` attaches values to
+``benchmark.extra_info`` with real flattening (it used to store ``as_dict()``
+results as *nested* dicts despite claiming to flatten, so per-model counters
+vanished from flat JSON consumers; nested keys now use ``key.subkey``
+naming, the same convention the runner's JSON schema uses).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-
-def print_table(title: str, header: list[str], rows: list[list[Any]]) -> None:
-    """Print a small fixed-width table (the benchmark's reproduced 'figure')."""
-    print(f"\n=== {title} ===")
-    widths = [
-        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
-        for i in range(len(header))
-    ]
-    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
-
-
-def fmt(value: float, digits: int = 3) -> str:
-    return f"{value:.{digits}f}"
+from repro.experiments.reporting import flatten_info, fmt, print_table  # noqa: F401
 
 
 def record(benchmark, **info: Any) -> None:
     """Attach experiment outputs to the pytest-benchmark record.
 
     Values carrying an ``as_dict()`` method (``RunResult``, ``Metrics``) are
-    flattened through it so benchmarks can pass result objects directly
-    instead of poking individual attributes.
+    converted through it, and any nested mapping is flattened into dotted
+    ``key.subkey`` entries so the resulting ``extra_info`` is flat.
     """
     for key, value in info.items():
-        as_dict = getattr(value, "as_dict", None)
-        benchmark.extra_info[key] = as_dict() if callable(as_dict) else value
+        benchmark.extra_info.update(flatten_info(value, prefix=key))

@@ -48,10 +48,39 @@ def estimate_bits(payload: object) -> int:
         for item in payload:
             total += _FRAMING_BITS + estimate_bits(item)
         return total
-    # Fallback for dataclass-like objects: encode their __dict__.
-    if hasattr(payload, "__dict__"):
-        return estimate_bits(vars(payload))
+    # Fallback for dataclass-like objects: encode their fields — both
+    # ``__dict__`` entries and ``__slots__`` descriptors (a slotted payload
+    # used to fall through to the flat 64-bit guess, under-billing CONGEST
+    # accounting for anything larger than one machine word).
+    fields = _object_fields(payload)
+    if fields is not None:
+        return estimate_bits(fields)
     return 64
+
+
+def _object_fields(payload: object) -> dict[str, object] | None:
+    """Field name -> value for dataclass-like payloads, else ``None``.
+
+    Merges ``__dict__`` with every ``__slots__`` entry declared along the
+    MRO (skipping the ``__dict__``/``__weakref__`` pseudo-slots and slots
+    never assigned).  Returns ``None`` when the object has neither, so the
+    caller can fall back to the opaque 64-bit estimate.
+    """
+    fields: dict[str, object] | None = None
+    if hasattr(payload, "__dict__"):
+        fields = dict(vars(payload))
+    for klass in type(payload).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name in ("__dict__", "__weakref__"):
+                continue
+            if fields is None:
+                fields = {}
+            if name not in fields and hasattr(payload, name):
+                fields[name] = getattr(payload, name)
+    return fields
 
 
 class BitsMemo:

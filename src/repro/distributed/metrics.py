@@ -57,7 +57,9 @@ class Metrics:
 
         Benchmarks and reports should consume this instead of poking
         individual attributes, so that adding a counter is a one-line change.
-        Model-owned counters are merged in after the core ones.
+        Model-owned counters are merged in after the core ones; a model
+        counter whose name shadows a core counter (e.g. ``rounds``) would
+        silently corrupt the report, so collisions raise instead.
         """
         out = {
             "rounds": self.rounds,
@@ -68,7 +70,12 @@ class Metrics:
             "cut_messages": self.cut_messages,
             "cut_bits": self.cut_bits,
         }
-        out.update(self.per_model)
+        for key, value in self.per_model.items():
+            if key in out:
+                raise ValueError(
+                    f"per_model counter {key!r} collides with a core Metrics counter"
+                )
+            out[key] = value
         return out
 
     def summary(self) -> dict[str, int]:

@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro.experiments``.
+
+Subcommands::
+
+    list                          show every registered experiment + scenarios
+    run E01 E16 E17 [--all]       run experiments (sharded over --jobs workers)
+        --jobs N                  worker processes (default 1)
+        --json PATH               write the stable JSON report
+        --cache DIR               on-disk result cache keyed by spec hash
+        --strip-timing            drop wall-time fields from the JSON so
+                                  repeated runs are byte-identical
+        --no-tables               suppress the reproduced tables
+
+Exit status is non-zero when any experiment invariant fails, so the ``run``
+subcommand doubles as a CI smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentCheckError
+from repro.experiments.reporting import experiment_table
+from repro.experiments.runner import ResultCache, run_experiments, strip_timing
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for identifier in registry.experiment_ids():
+        experiment = registry.get_experiment(identifier)
+        print(f"{experiment.id}  {experiment.title}")
+        print(f"     {experiment.headline}")
+        for spec in experiment.scenarios:
+            print(f"     - {spec.name}  [{spec.spec_hash()}]")
+    return 0
+
+
+def _resolve_ids(args: argparse.Namespace) -> list[str]:
+    if args.all:
+        return registry.experiment_ids()
+    if not args.experiments:
+        raise SystemExit("run: name experiments (e.g. E01 E16 E17) or pass --all")
+    return [identifier.upper() for identifier in args.experiments]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    identifiers = _resolve_ids(args)
+    cache = ResultCache(args.cache) if args.cache else None
+    started = time.perf_counter()
+    try:
+        report = run_experiments(identifiers, jobs=args.jobs, cache=cache)
+    except ExperimentCheckError as error:
+        print(f"experiment check failed: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        # e.g. a mistyped experiment id — the registry message lists the
+        # known ids; surface it cleanly instead of a traceback.
+        print(str(error).strip('"\''), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if not args.no_tables:
+        for entry in report["experiments"]:
+            experiment = registry.get_experiment(entry["id"])
+            results = [scenario["result"] for scenario in entry["scenarios"]]
+            experiment_table(experiment, results)
+        print()
+
+    scenario_count = sum(len(entry["scenarios"]) for entry in report["experiments"])
+    cached_count = sum(
+        1
+        for entry in report["experiments"]
+        for scenario in entry["scenarios"]
+        if scenario["cached"]
+    )
+    print(
+        f"ran {scenario_count} scenarios across {len(identifiers)} experiments "
+        f"in {elapsed:.2f}s (jobs={args.jobs}, cached={cached_count})",
+        file=sys.stderr,
+    )
+
+    if args.json:
+        payload: dict[str, Any] = strip_timing(report) if args.strip_timing else report
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the E01-E17 experiment reproductions through the "
+        "scenario registry and sharded runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lister = sub.add_parser("list", help="list registered experiments and scenarios")
+    lister.set_defaults(func=_cmd_list)
+
+    runner = sub.add_parser("run", help="run experiments and emit the JSON report")
+    runner.add_argument("experiments", nargs="*", help="experiment ids, e.g. E01 E16 E17")
+    runner.add_argument("--all", action="store_true", help="run every registered experiment")
+    runner.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    runner.add_argument("--json", metavar="PATH", help="write the JSON report here")
+    runner.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="on-disk result cache keyed by spec hash (keys cover spec "
+        "contents only — clear the directory after code changes)",
+    )
+    runner.add_argument(
+        "--strip-timing",
+        action="store_true",
+        help="omit wall-time fields from the JSON (byte-identical across runs)",
+    )
+    runner.add_argument("--no-tables", action="store_true", help="suppress result tables")
+    runner.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

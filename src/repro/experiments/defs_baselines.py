@@ -1,0 +1,240 @@
+"""Registry definitions for the baseline/ablation experiments E13-E15."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.baselines import (
+    baswana_sen_spanner,
+    expected_size_bound,
+    greedy_two_spanner,
+    implied_approximation_ratio,
+    take_all_spanner,
+)
+from repro.core import TwoSpannerOptions, run_two_spanner
+from repro.experiments.families import build_graph
+from repro.experiments.registry import Experiment, check, register
+from repro.experiments.spec import ScenarioSpec
+from repro.spanner import is_k_spanner
+
+
+# --------------------------------------------------------------------------
+# E13 — Baswana-Sen (2k-1)-spanners and the implied O(n^{1/k}) approximation
+# --------------------------------------------------------------------------
+
+
+def _run_e13(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    k = spec.param("k")
+    n = graph.number_of_nodes()
+    spanner = baswana_sen_spanner(graph, k=k, seed=k)
+    check(is_k_spanner(graph, spanner, 2 * k - 1), f"{spec.name}: invalid (2k-1)-spanner")
+    ratio = implied_approximation_ratio(graph, len(spanner))
+    bound = expected_size_bound(n, k)
+    yardstick = n ** (1.0 / k)
+    check(len(spanner) <= 4 * bound, f"{spec.name}: size escapes the expected-size envelope")
+    check(ratio <= 4 * yardstick, f"{spec.name}: implied ratio does not track n^(1/k)")
+    return {
+        "setting": spec.name,
+        "m": graph.number_of_edges(),
+        "size": len(spanner),
+        "size_bound": bound,
+        "implied_ratio": ratio,
+        "yardstick": yardstick,
+    }
+
+
+def _verify_e13(results) -> dict[str, Any]:
+    sizes = [r["size"] for r in results]
+    check(sizes[0] >= sizes[1] >= sizes[2], "spanners do not get sparser as k grows")
+    return {"sizes": sizes}
+
+
+register(
+    Experiment(
+        id="E13",
+        title="Baswana-Sen (2k-1)-spanners and the implied O(n^{1/k}) approximation",
+        headline="spanner sizes vs the k*n^(1+1/k) bound as stretch grows",
+        columns=(
+            ("setting", "setting", None),
+            ("m", "m", None),
+            ("spanner size", "size", None),
+            ("k*n^{1+1/k} bound", "size_bound", ".1f"),
+            ("size/(n-1)", "implied_ratio", ".3f"),
+            ("n^{1/k}", "yardstick", ".2f"),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E13",
+                f"k={k} (stretch {2 * k - 1})",
+                graph=("connected_gnp", 120, 0.25, 3),
+                k=k,
+            )
+            for k in (1, 2, 3, 4)
+        ],
+        run_scenario=_run_e13,
+        verify=_verify_e13,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E14 — head-to-head comparison on a shared graph suite
+# --------------------------------------------------------------------------
+
+
+def _run_e14(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    distributed = run_two_spanner(
+        graph,
+        seed=spec.param("run_seed"),
+        options=TwoSpannerOptions(densest_method="peeling"),
+    )
+    check(is_k_spanner(graph, distributed.edges, 2), f"{spec.name}: invalid 2-spanner")
+    greedy = len(greedy_two_spanner(graph, method="peeling"))
+    take_all = len(take_all_spanner(graph))
+    floor = graph.number_of_nodes() - 1
+    ratio = distributed.size / max(1, greedy)
+    check(distributed.size <= take_all, f"{spec.name}: worse than take-all")
+    check(distributed.size >= floor, f"{spec.name}: below the connectivity floor")
+    check(ratio <= 4.0, f"{spec.name}: drifts from the greedy baseline")
+    return {
+        "workload": spec.name,
+        "m": graph.number_of_edges(),
+        "distributed": distributed.size,
+        "greedy": greedy,
+        "take_all": take_all,
+        "floor": floor,
+        "dist_over_greedy": ratio,
+        "metrics": distributed.metrics,
+    }
+
+
+def _verify_e14(results) -> dict[str, Any]:
+    # On the clique the savings are dramatic (take-all is ~n/2 times larger).
+    clique = next(r for r in results if r["workload"] == "clique n=20")
+    check(clique["take_all"] >= 4 * clique["distributed"], "clique savings missing")
+    return {"worst_dist_over_greedy": max(r["dist_over_greedy"] for r in results)}
+
+
+register(
+    Experiment(
+        id="E14",
+        title="Distributed (Thm 1.3) vs Kortsarz-Peleg greedy vs take-all",
+        headline="head-to-head 2-spanner sizes across a shared graph suite",
+        columns=(
+            ("workload", "workload", None),
+            ("m", "m", None),
+            ("distributed", "distributed", None),
+            ("KP greedy", "greedy", None),
+            ("take-all", "take_all", None),
+            ("n-1 floor", "floor", None),
+            ("dist/greedy", "dist_over_greedy", ".3f"),
+        ),
+        scenarios=[
+            ScenarioSpec.make("E14", name, graph=graph, run_seed=5)
+            for name, graph in [
+                ("path n=30", ("path", 30)),
+                ("bipartite K5,6", ("complete_bipartite", 5, 6)),
+                ("clique n=20", ("complete", 20)),
+                ("gnp n=40 p=0.3", ("connected_gnp", 40, 0.3, 1)),
+                ("gnp n=60 p=0.2", ("connected_gnp", 60, 0.2, 2)),
+                ("cluster 4x8", ("cluster", 4, 8, 3)),
+            ]
+        ],
+        run_scenario=_run_e14,
+        verify=_verify_e14,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E15 — ablations of the Section 4 design choices
+# --------------------------------------------------------------------------
+
+_E15_CONFIGS: list[tuple[str, dict[str, Any]]] = [
+    ("paper defaults", {}),
+    ("peeling densest star", {"densest_method": "peeling"}),
+    ("no star re-selection rule", {"follow_paper_rule": False}),
+    ("vote threshold 1/2", {"vote_fraction": (1, 2)}),
+    ("star threshold rho/8", {"threshold_divisor": 8}),
+]
+
+_E15_WORKLOADS = [
+    ("gnp n=30 p=0.3", ("connected_gnp", 30, 0.3, 7)),
+    ("cluster 3x7", ("cluster", 3, 7, 8)),
+]
+
+
+def _options_from(spec: ScenarioSpec) -> TwoSpannerOptions:
+    kwargs: dict[str, Any] = {}
+    if spec.param("densest_method") is not None:
+        kwargs["densest_method"] = spec.param("densest_method")
+    if spec.param("follow_paper_rule") is not None:
+        kwargs["follow_paper_rule"] = spec.param("follow_paper_rule")
+    if spec.param("vote_fraction") is not None:
+        numerator, denominator = spec.param("vote_fraction")
+        kwargs["vote_fraction"] = Fraction(numerator, denominator)
+    if spec.param("threshold_divisor") is not None:
+        kwargs["threshold_divisor"] = spec.param("threshold_divisor")
+    return TwoSpannerOptions(**kwargs)
+
+
+def _run_e15(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    result = run_two_spanner(graph, seed=spec.param("run_seed"), options=_options_from(spec))
+    check(is_k_spanner(graph, result.edges, 2), f"{spec.name}: invalid 2-spanner")
+    return {
+        "workload": spec.param("workload"),
+        "configuration": spec.param("configuration"),
+        "size": result.size,
+        "iterations": result.iterations,
+        "fallbacks": result.fallback_count,
+    }
+
+
+def _verify_e15(results) -> dict[str, Any]:
+    defaults = {
+        r["workload"]: r["size"] for r in results if r["configuration"] == "paper defaults"
+    }
+    for r in results:
+        if r["configuration"] == "paper defaults":
+            # Claim 4.4: the defaults never take the selection fallback branch.
+            check(r["fallbacks"] == 0, f"{r['workload']}: defaults used the fallback branch")
+        check(
+            r["size"] <= 2 * defaults[r["workload"]] + 8,
+            f"{r['workload']} / {r['configuration']}: ablation blew up the spanner",
+        )
+    return {"configurations": len(_E15_CONFIGS), "workloads": len(_E15_WORKLOADS)}
+
+
+register(
+    Experiment(
+        id="E15",
+        title="Ablations of the Section 4 design choices",
+        headline="exact vs peeling densest stars, re-selection rule, vote thresholds",
+        columns=(
+            ("workload", "workload", None),
+            ("configuration", "configuration", None),
+            ("spanner size", "size", None),
+            ("iterations", "iterations", None),
+            ("selection fallbacks", "fallbacks", None),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E15",
+                f"{wname} / {cname}",
+                graph=graph,
+                workload=wname,
+                configuration=cname,
+                run_seed=11,
+                **config,
+            )
+            for wname, graph in _E15_WORKLOADS
+            for cname, config in _E15_CONFIGS
+        ],
+        run_scenario=_run_e15,
+        verify=_verify_e15,
+    )
+)

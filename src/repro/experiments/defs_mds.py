@@ -1,0 +1,86 @@
+"""Registry definition for E06 — Theorem 5.1: guaranteed O(log Delta) MDS."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.baselines import (
+    exact_dominating_set,
+    expectation_randomized_mds,
+    greedy_dominating_set,
+)
+from repro.core import run_mds
+from repro.experiments.families import build_graph
+from repro.experiments.registry import Experiment, check, register
+from repro.experiments.spec import ScenarioSpec
+from repro.graphs import is_dominating_set
+
+# Largest n in the sweep (plus slack): the CONGEST message-size check below
+# uses one shared budget so the column is comparable across workloads.
+_MAX_N = 110
+
+
+def _run_e06(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    result = run_mds(graph, seed=spec.param("run_seed"))
+    check(is_dominating_set(graph, result.dominators), f"{spec.name}: not a dominating set")
+    greedy = len(greedy_dominating_set(graph))
+    expectation = len(expectation_randomized_mds(graph, seed=spec.param("baseline_seed")))
+    metrics = result.metrics.as_dict()
+    # Guaranteed-ratio algorithm stays within O(log Delta) of greedy (itself
+    # ~ln Delta of OPT), and CONGEST messages stay within O(log n) bits.
+    check(result.size <= 8 * greedy + 8, f"{spec.name}: MDS size escapes the greedy envelope")
+    check(
+        metrics["max_message_bits"] <= 32 * math.ceil(math.log2(_MAX_N)),
+        f"{spec.name}: message exceeded the CONGEST budget",
+    )
+    opt = len(exact_dominating_set(graph)) if spec.param("exact") else None
+    return {
+        "workload": spec.name,
+        "exact": opt,
+        "size": result.size,
+        "greedy": greedy,
+        "expectation_only": expectation,
+        "iterations": result.iterations,
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e06(results) -> dict[str, Any]:
+    return {
+        "scenarios": len(results),
+        "max_message_bits": max(r["metrics.max_message_bits"] for r in results),
+    }
+
+
+register(
+    Experiment(
+        id="E06",
+        title="Theorem 5.1: guaranteed O(log Delta) MDS in CONGEST",
+        headline="MDS sizes vs exact / greedy / expectation-only baselines",
+        columns=(
+            ("workload", "workload", None),
+            ("exact", "exact", None),
+            ("paper alg", "size", None),
+            ("greedy", "greedy", None),
+            ("expectation-only", "expectation_only", None),
+            ("iterations", "iterations", None),
+            ("max msg bits", "metrics.max_message_bits", None),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E06", name, graph=graph, exact=exact, run_seed=5, baseline_seed=6
+            )
+            for name, graph, exact in [
+                ("gnp n=16 p=0.3", ("connected_gnp", 16, 0.3, 1), True),
+                ("gnp n=18 p=0.25", ("connected_gnp", 18, 0.25, 2), True),
+                ("gnp n=80 p=0.06", ("connected_gnp", 80, 0.06, 3), False),
+                ("ba n=100", ("barabasi_albert", 100, 2, 4), False),
+                ("grid 10x10", ("grid", 10, 10), False),
+            ]
+        ],
+        run_scenario=_run_e06,
+        verify=_verify_e06,
+    )
+)

@@ -1,0 +1,447 @@
+"""Registry definitions for the spanner experiments E01-E05 and E07.
+
+Each experiment's workload sweep is declared as a list of
+:class:`ScenarioSpec` and executed one scenario at a time by a module-level
+runner function; the per-theorem invariants formerly asserted inside
+``benchmarks/bench_e*.py`` live here (scenario-local ones in the runner,
+cross-scenario ones in ``verify``), so the CLI enforces them too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core import (
+    TwoSpannerOptions,
+    WeightedVariant,
+    client_server_two_spanner,
+    one_plus_eps_spanner,
+    run_directed_two_spanner,
+    run_two_spanner,
+)
+from repro.experiments.families import build_graph
+from repro.experiments.registry import Experiment, check, register
+from repro.experiments.spec import ScenarioSpec
+from repro.graphs import (
+    assign_weights_from_choices,
+    log_m_over_n,
+    log_max_degree,
+    random_split_instance,
+)
+from repro.spanner import (
+    is_client_server_2_spanner,
+    is_k_spanner,
+    is_k_spanner_directed,
+    lp_lower_bound_2spanner,
+    lp_lower_bound_2spanner_directed,
+    minimum_client_server_2_spanner_exact,
+    minimum_k_spanner_exact,
+    minimum_k_spanner_exact_directed,
+    spanner_cost,
+)
+
+
+# --------------------------------------------------------------------------
+# E01 — Theorem 1.3: approximation ratio O(log m/n)
+# --------------------------------------------------------------------------
+
+_E01_SEED = 11
+
+
+def _e01_spec(name: str, graph: tuple, baseline: str) -> ScenarioSpec:
+    return ScenarioSpec.make(
+        "E01", name, graph=graph, baseline=baseline, run_seed=_E01_SEED
+    )
+
+
+def _run_e01(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    result = run_two_spanner(graph, seed=spec.param("run_seed"))
+    check(is_k_spanner(graph, result.edges, 2), f"{spec.name}: invalid 2-spanner")
+    kind = spec.param("baseline")
+    if kind == "exact":
+        baseline = float(len(minimum_k_spanner_exact(graph, 2)))
+    elif kind == "analytic":
+        # Complete graph: a single full star (n-1 edges) is optimal.
+        baseline = float(graph.number_of_nodes() - 1)
+    else:
+        baseline = max(1.0, lp_lower_bound_2spanner(graph))
+    ratio = result.size / baseline
+    yardstick = log_m_over_n(graph)
+    # The paper's guarantee: ratio = O(log m/n); 16 is the empirical envelope.
+    check(ratio <= 16 * max(1.0, yardstick), f"{spec.name}: ratio {ratio:.3f} escapes envelope")
+    return {
+        "workload": spec.name,
+        "m": graph.number_of_edges(),
+        "baseline": baseline,
+        "kind": kind,
+        "size": result.size,
+        "ratio": ratio,
+        "log_m_over_n": yardstick,
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e01(results) -> dict[str, Any]:
+    return {"worst_ratio": max(r["ratio"] for r in results), "scenarios": len(results)}
+
+
+register(
+    Experiment(
+        id="E01",
+        title="Theorem 1.3: distributed 2-spanner approximation ratio",
+        headline="spanner size vs exact optimum / LP bound vs the log2(m/n) yardstick",
+        columns=(
+            ("workload", "workload", None),
+            ("m", "m", None),
+            ("opt/LP", "baseline", "g"),
+            ("alg size", "size", None),
+            ("ratio", "ratio", ".3f"),
+            ("log2(m/n)", "log_m_over_n", ".3f"),
+            ("baseline", "kind", None),
+        ),
+        scenarios=[
+            _e01_spec("gnp n=14 p=0.45", ("connected_gnp", 14, 0.45, 1), "exact"),
+            _e01_spec("gnp n=16 p=0.35", ("connected_gnp", 16, 0.35, 2), "exact"),
+            _e01_spec("cluster 3x4", ("cluster", 3, 4, 3), "exact"),
+            _e01_spec("clique n=12", ("complete", 12), "analytic"),
+            _e01_spec("gnp n=40 p=0.25", ("connected_gnp", 40, 0.25, 4), "lp"),
+            _e01_spec("gnp n=60 p=0.15", ("connected_gnp", 60, 0.15, 5), "lp"),
+            _e01_spec("stars 4x6", ("overlapping_stars", 4, 6, 2, 6), "lp"),
+        ],
+        run_scenario=_run_e01,
+        verify=_verify_e01,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E02 — Theorem 1.3: O(log n log Delta) rounds
+# --------------------------------------------------------------------------
+
+
+def _run_e02(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    options = TwoSpannerOptions(densest_method="peeling")
+    result = run_two_spanner(graph, seed=spec.param("run_seed"), options=options)
+    check(is_k_spanner(graph, result.edges, 2), f"{spec.name}: invalid 2-spanner")
+    n, delta = graph.number_of_nodes(), graph.max_degree()
+    yardstick = math.log2(n) * math.log2(max(2, delta))
+    return {
+        "workload": spec.name,
+        "n": n,
+        "delta": delta,
+        "iterations": result.iterations,
+        "rounds": result.rounds,
+        "yardstick": yardstick,
+        "iter_over_yardstick": result.iterations / yardstick,
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e02(results) -> dict[str, Any]:
+    ratios = [r["iter_over_yardstick"] for r in results]
+    # Shape check: iteration counts stay polylog and do not grow linearly in
+    # n (n grows 6x across the sweep).
+    check(max(ratios) <= 10.0, f"iterations escaped the polylog envelope: {max(ratios):.3f}")
+    check(
+        results[-2]["iterations"] <= 4 * results[0]["iterations"] + 8,
+        "iteration count grows super-polylogarithmically across the sweep",
+    )
+    return {"max_iter_over_yardstick": max(ratios)}
+
+
+register(
+    Experiment(
+        id="E02",
+        title="Theorem 1.3: rounds vs O(log n log Delta)",
+        headline="iteration / round counts against the log2(n)*log2(Delta) yardstick",
+        columns=(
+            ("workload", "workload", None),
+            ("n", "n", None),
+            ("Delta", "delta", None),
+            ("iterations", "iterations", None),
+            ("sim rounds", "rounds", None),
+            ("log2(n)*log2(D)", "yardstick", ".3f"),
+            ("iters/yardstick", "iter_over_yardstick", ".3f"),
+        ),
+        scenarios=[
+            ScenarioSpec.make("E02", name, graph=graph, run_seed=9)
+            for name, graph in [
+                ("gnp n=20", ("connected_gnp", 20, 0.30, 1)),
+                ("gnp n=40", ("connected_gnp", 40, 0.20, 2)),
+                ("gnp n=80", ("connected_gnp", 80, 0.12, 3)),
+                ("gnp n=120", ("connected_gnp", 120, 0.08, 4)),
+                ("ba n=100 m0=3", ("barabasi_albert", 100, 3, 5)),
+            ]
+        ],
+        run_scenario=_run_e02,
+        verify=_verify_e02,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E03 — Theorem 4.9: directed 2-spanner keeps O(log m/n)
+# --------------------------------------------------------------------------
+
+
+def _run_e03(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    result = run_directed_two_spanner(graph, seed=spec.param("run_seed"))
+    check(is_k_spanner_directed(graph, result.arcs, 2), f"{spec.name}: invalid directed 2-spanner")
+    if spec.param("baseline") == "exact":
+        baseline = float(len(minimum_k_spanner_exact_directed(graph, 2)))
+    else:
+        baseline = max(1.0, lp_lower_bound_2spanner_directed(graph))
+    ratio = result.size / baseline
+    return {
+        "workload": spec.name,
+        "m": graph.number_of_edges(),
+        "baseline": baseline,
+        "kind": spec.param("baseline"),
+        "size": result.size,
+        "ratio": ratio,
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e03(results) -> dict[str, Any]:
+    worst = max(r["ratio"] for r in results)
+    check(worst <= 24.0, f"directed ratio {worst:.3f} exceeds the envelope")
+    return {"worst_ratio": worst}
+
+
+register(
+    Experiment(
+        id="E03",
+        title="Theorem 4.9: directed 2-spanner approximation",
+        headline="directed spanner size vs exact optimum / directed LP bound",
+        columns=(
+            ("workload", "workload", None),
+            ("m", "m", None),
+            ("opt/LP", "baseline", "g"),
+            ("alg size", "size", None),
+            ("ratio", "ratio", ".3f"),
+            ("baseline", "kind", None),
+        ),
+        scenarios=[
+            ScenarioSpec.make("E03", name, graph=graph, baseline=kind, run_seed=7)
+            for name, graph, kind in [
+                ("digraph n=10 p=0.35", ("random_digraph", 10, 0.35, 1), "exact"),
+                ("digraph n=11 p=0.30", ("random_digraph", 11, 0.30, 2), "exact"),
+                ("tournament n=8", ("random_tournament", 8, 3), "exact"),
+                ("bidirected K6", ("bidirected_complete", 6), "exact"),
+                ("digraph n=30 p=0.15", ("random_digraph", 30, 0.15, 4), "lp"),
+                ("tournament n=20", ("random_tournament", 20, 5), "lp"),
+            ]
+        ],
+        run_scenario=_run_e03,
+        verify=_verify_e03,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E04 — Theorem 4.12: weighted 2-spanner
+# --------------------------------------------------------------------------
+
+
+def _run_e04(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    assign_weights_from_choices(
+        graph, list(spec.param("weights")), seed=spec.param("weight_seed")
+    )
+    result = run_two_spanner(graph, variant=WeightedVariant(), seed=spec.param("run_seed"))
+    check(is_k_spanner(graph, result.edges, 2), f"{spec.name}: invalid 2-spanner")
+    opt = minimum_k_spanner_exact(graph, 2, use_weights=True)
+    opt_cost = max(1e-9, spanner_cost(graph, opt))
+    ratio = result.cost(graph) / opt_cost if opt_cost > 1e-6 else 1.0
+    return {
+        "weights": spec.name,
+        "opt_cost": opt_cost,
+        "alg_cost": result.cost(graph),
+        "ratio": ratio,
+        "log_delta": log_max_degree(graph),
+        "iterations": result.iterations,
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e04(results) -> dict[str, Any]:
+    worst = max(r["ratio"] for r in results)
+    envelope = 16 * max(r["log_delta"] for r in results)
+    check(worst <= envelope, f"weighted ratio {worst:.3f} exceeds 16*log2(Delta)")
+    return {"worst_ratio": worst}
+
+
+register(
+    Experiment(
+        id="E04",
+        title="Theorem 4.12: weighted 2-spanner, cost vs exact optimum",
+        headline="weighted spanner cost across weight spreads vs the O(log Delta) bound",
+        columns=(
+            ("weights", "weights", None),
+            ("opt cost", "opt_cost", ".3f"),
+            ("alg cost", "alg_cost", ".3f"),
+            ("ratio", "ratio", ".3f"),
+            ("log2(Delta)", "log_delta", ".3f"),
+            ("iterations", "iterations", None),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E04",
+                name,
+                graph=("connected_gnp", 13, 0.45, 3),
+                weights=choices,
+                weight_seed=4,
+                run_seed=5,
+            )
+            for name, choices in [
+                ("W=1 (uniform)", (1.0,)),
+                ("W=8", (1.0, 2.0, 8.0)),
+                ("W=64", (1.0, 8.0, 64.0)),
+                ("with zero weights", (0.0, 1.0, 4.0)),
+            ]
+        ],
+        run_scenario=_run_e04,
+        verify=_verify_e04,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E05 — Theorem 4.15: client-server 2-spanner
+# --------------------------------------------------------------------------
+
+
+def _run_e05(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    instance = random_split_instance(
+        graph,
+        client_fraction=spec.param("client_fraction"),
+        server_fraction=spec.param("server_fraction"),
+        seed=spec.param("split_seed"),
+    )
+    result = client_server_two_spanner(instance, seed=spec.param("run_seed"))
+    check(is_client_server_2_spanner(instance, result.edges), f"{spec.name}: invalid CS 2-spanner")
+    opt_size = max(1, len(minimum_client_server_2_spanner_exact(instance)))
+    log_c_vc = math.log2(
+        max(2.0, len(instance.clients) / max(1, len(instance.client_vertices())))
+    )
+    log_ds = math.log2(max(2, instance.server_max_degree()))
+    return {
+        "split": spec.name,
+        "clients": len(instance.clients),
+        "servers": len(instance.servers),
+        "opt": opt_size,
+        "size": result.size,
+        "ratio": result.size / opt_size,
+        "yardstick": min(log_c_vc, log_ds),
+        "metrics": result.metrics,
+    }
+
+
+def _verify_e05(results) -> dict[str, Any]:
+    worst = max(r["ratio"] for r in results)
+    envelope = 16 * max(1.0, max(r["yardstick"] for r in results))
+    check(worst <= envelope, f"client-server ratio {worst:.3f} exceeds the envelope")
+    return {"worst_ratio": worst}
+
+
+register(
+    Experiment(
+        id="E05",
+        title="Theorem 4.15: client-server 2-spanner",
+        headline="server-edge choices vs exact optimum across client/server splits",
+        columns=(
+            ("split", "split", None),
+            ("|C|", "clients", None),
+            ("|S|", "servers", None),
+            ("opt", "opt", None),
+            ("alg", "size", None),
+            ("ratio", "ratio", ".3f"),
+            ("min(log C/VC, log Ds)", "yardstick", ".3f"),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E05",
+                name,
+                graph=("connected_gnp", 12, 0.5, 6),
+                client_fraction=c_frac,
+                server_fraction=s_frac,
+                split_seed=7,
+                run_seed=8,
+            )
+            for name, c_frac, s_frac in [
+                ("clients 0.5 / servers 0.9", 0.5, 0.9),
+                ("clients 0.7 / servers 0.7", 0.7, 0.7),
+                ("clients 0.9 / servers 0.5", 0.9, 0.5),
+                ("all clients / all servers", 1.0, 1.0),
+            ]
+        ],
+        run_scenario=_run_e05,
+        verify=_verify_e05,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E07 — Theorem 1.2: (1+eps)-approximation in LOCAL
+# --------------------------------------------------------------------------
+
+
+def _run_e07(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    k, eps = spec.param("k"), spec.param("epsilon")
+    result = one_plus_eps_spanner(graph, k=k, epsilon=eps, seed=spec.param("run_seed"))
+    check(is_k_spanner(graph, result.edges, k), f"{spec.name}: invalid {k}-spanner")
+    opt = len(minimum_k_spanner_exact(graph, k))
+    ratio = result.size / opt
+    # Within (1+eps) up to integrality slack.
+    check(ratio <= (1 + eps) + 0.15, f"{spec.name}: ratio {ratio:.3f} above 1+eps")
+    return {
+        "setting": spec.name,
+        "opt": opt,
+        "size": result.size,
+        "ratio": ratio,
+        "one_plus_eps": 1 + eps,
+        "r": result.r,
+        "rounds_estimate": result.rounds_estimate,
+    }
+
+
+def _verify_e07(results) -> dict[str, Any]:
+    return {"worst_ratio": max(r["ratio"] for r in results)}
+
+
+register(
+    Experiment(
+        id="E07",
+        title="Theorem 1.2: (1+eps)-approximation in LOCAL",
+        headline="(1+eps)-approximate minimum k-spanner across an eps/k sweep",
+        columns=(
+            ("setting", "setting", None),
+            ("opt", "opt", None),
+            ("alg size", "size", None),
+            ("ratio", "ratio", ".3f"),
+            ("1+eps", "one_plus_eps", ".3f"),
+            ("r", "r", None),
+            ("round estimate", "rounds_estimate", None),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E07",
+                f"k={k} eps={eps}",
+                graph=("connected_gnp", 11, 0.4, 3),
+                k=k,
+                epsilon=eps,
+                run_seed=4,
+            )
+            for k, eps in [(2, 1.0), (2, 0.5), (2, 0.25), (3, 0.5)]
+        ],
+        run_scenario=_run_e07,
+        verify=_verify_e07,
+    )
+)

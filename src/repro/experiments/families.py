@@ -1,0 +1,61 @@
+"""Graph-family registry: build deterministic instances from spec tuples.
+
+A graph inside a :class:`~repro.experiments.spec.ScenarioSpec` is described
+by a positional tuple ``(family, *args)`` — e.g. ``("connected_gnp", 40,
+0.25, 4)`` — mirroring the generator signatures, so the spec stays a pure
+primitive structure.  :func:`build_graph` rebuilds the instance inside
+whichever worker process runs the scenario; all generators are seeded, so
+the same tuple always yields the same graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.graphs import (
+    barabasi_albert_graph,
+    bidirect,
+    cluster_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    overlapping_stars_graph,
+    path_graph,
+    random_digraph,
+    random_tournament,
+)
+
+FAMILIES: dict[str, Callable[..., Any]] = {
+    # undirected
+    "gnp": lambda n, p, seed: gnp_random_graph(n, p, seed=seed),
+    "connected_gnp": lambda n, p, seed: connected_gnp_graph(n, p, seed=seed),
+    "complete": complete_graph,
+    "complete_bipartite": complete_bipartite_graph,
+    "cluster": lambda clusters, size, seed: cluster_graph(clusters, size, seed=seed),
+    "overlapping_stars": lambda stars, leaves, overlap, seed: overlapping_stars_graph(
+        stars, leaves, overlap, seed=seed
+    ),
+    "barabasi_albert": lambda n, m, seed: barabasi_albert_graph(n, m, seed=seed),
+    "grid": grid_graph,
+    "path": path_graph,
+    "cycle": cycle_graph,
+    # directed
+    "random_digraph": lambda n, p, seed: random_digraph(n, p, seed=seed),
+    "random_tournament": lambda n, seed: random_tournament(n, seed=seed),
+    "bidirected_complete": lambda n: bidirect(complete_graph(n)),
+}
+
+
+def build_graph(family_spec: Sequence[Any]) -> Any:
+    """Instantiate the graph described by a ``(family, *args)`` tuple."""
+    family, *args = family_spec
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown graph family {family!r} (known: {known})") from None
+    return builder(*args)

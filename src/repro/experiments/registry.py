@@ -1,0 +1,105 @@
+"""The experiment registry: declarative scenario lists plus runner hooks.
+
+Every experiment (E01-E17) registers one :class:`Experiment` object mapping
+its id to
+
+* ``scenarios`` — the declarative :class:`~repro.experiments.spec.ScenarioSpec`
+  list (the sweep the experiment reproduces),
+* ``run_scenario`` — a module-level function executing ONE spec and returning
+  a JSON-able result dict (per-scenario invariants are checked here with
+  :func:`check`, so they hold under pytest and the CLI alike),
+* ``verify`` — optional cross-scenario checks over the ordered result list,
+  returning a JSON-able summary dict,
+* ``columns`` — the table layout ``(header, result key, format spec | None)``
+  used by both the CLI and the pytest-benchmark wrappers.
+
+Workers resolve specs back to runner functions through this registry (only
+the spec itself ever crosses a process boundary), so everything stays
+picklable under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.spec import ScenarioSpec
+
+Columns = tuple[tuple[str, str, str | None], ...]
+
+
+class ExperimentCheckError(AssertionError):
+    """A reproduced invariant failed (raised by scenario runners / verify)."""
+
+
+def check(condition: bool, message: str) -> None:
+    """Assert an experiment invariant, surviving ``python -O``."""
+    if not condition:
+        raise ExperimentCheckError(message)
+
+
+@dataclass
+class Experiment:
+    """One registered experiment: scenarios, runner, checks, table layout."""
+
+    id: str
+    title: str
+    headline: str
+    columns: Columns
+    scenarios: list[ScenarioSpec]
+    run_scenario: Callable[[ScenarioSpec], dict[str, Any]]
+    verify: Callable[[Sequence[dict[str, Any]]], dict[str, Any]] | None = None
+    tags: tuple[str, ...] = field(default=())
+
+
+_REGISTRY: dict[str, Experiment] = {}
+_LOADED = False
+
+
+def register(experiment: Experiment) -> Experiment:
+    if experiment.id in _REGISTRY:
+        raise ValueError(f"experiment {experiment.id} registered twice")
+    names = [spec.name for spec in experiment.scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError(f"experiment {experiment.id} has duplicate scenario names")
+    for spec in experiment.scenarios:
+        if spec.experiment != experiment.id:
+            raise ValueError(
+                f"scenario {spec.name!r} claims experiment {spec.experiment!r}, "
+                f"registered under {experiment.id!r}"
+            )
+    _REGISTRY[experiment.id] = experiment
+    return experiment
+
+
+def load_all() -> None:
+    """Import every definition module (idempotent; spawn-safe)."""
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.experiments import (  # noqa: F401
+        defs_baselines,
+        defs_lowerbounds,
+        defs_mds,
+        defs_spanner,
+        defs_substrate,
+    )
+
+    # Only after every import succeeded: a failed import must propagate again
+    # on the next call, not leave a silently half-loaded registry behind.
+    _LOADED = True
+
+
+def experiment_ids() -> list[str]:
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    load_all()
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})")
+    return _REGISTRY[key]

@@ -1,0 +1,87 @@
+"""Tables and flattening shared by the CLI, the runner, and the benchmarks.
+
+``flatten_info`` is the one flattening rule of the subsystem: nested
+mappings (or objects exposing ``as_dict()``) are folded into dotted
+``key.subkey`` names, sequences of mappings into ``key.<index>.subkey``, and
+primitive leaves kept as-is.  The runner applies it to every scenario result
+(so the JSON schema is flat), and ``benchmarks/common.py::record`` applies
+it to pytest-benchmark ``extra_info`` — previously that helper *claimed* to
+flatten but stored nested dicts, hiding per-model counters from flat JSON
+consumers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+    """Print a small fixed-width table (an experiment's reproduced 'figure')."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _is_leaf(value: Any) -> bool:
+    if isinstance(value, (Mapping,)):
+        return False
+    if isinstance(value, (list, tuple)):
+        return not any(
+            isinstance(item, Mapping) or callable(getattr(item, "as_dict", None))
+            for item in value
+        )
+    return not callable(getattr(value, "as_dict", None))
+
+
+def flatten_info(value: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten ``value`` into ``{dotted.key: leaf}`` under ``prefix``.
+
+    Mappings and ``as_dict()``-bearing objects recurse with ``.`` joined
+    keys; sequences containing mappings recurse with the element index as a
+    path segment; everything else is a leaf stored verbatim.
+    """
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        value = as_dict()
+    out: dict[str, Any] = {}
+    if isinstance(value, Mapping):
+        for key, sub in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_info(sub, path))
+        return out
+    if isinstance(value, (list, tuple)) and not _is_leaf(value):
+        for index, item in enumerate(value):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            out.update(flatten_info(item, path))
+        return out
+    out[prefix] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def format_cell(value: Any, spec: str | None) -> str:
+    """Render one table cell (``None`` prints as ``-``)."""
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, spec)
+    return str(value)
+
+
+def experiment_table(experiment, scenario_results: Sequence[Mapping[str, Any]]) -> None:
+    """Print an experiment's result table from its registered columns."""
+    header = [column[0] for column in experiment.columns]
+    rows = [
+        [format_cell(result.get(key), spec) for _, key, spec in experiment.columns]
+        for result in scenario_results
+    ]
+    print_table(f"{experiment.id}  {experiment.title}", header, rows)

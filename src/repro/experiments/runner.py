@@ -1,0 +1,207 @@
+"""Parallel sharded scenario runner with caching and deterministic merge.
+
+Execution contract:
+
+* Scenarios are independent units; a worker pool (``multiprocessing``) shards
+  them across ``jobs`` processes with ``chunksize=1`` so long scenarios do
+  not convoy short ones.
+* Before each scenario the worker seeds the *global* ``random`` module from
+  the spec hash — all repo algorithms take explicit seeds, but this makes
+  even an accidental global-random user deterministic regardless of which
+  worker runs which scenario in which order.
+* Results are merged back in spec order (never completion order), and every
+  result dict is round-tripped through the flattener + JSON, so repeated
+  runs — serial or parallel — produce byte-identical reports modulo the
+  timing fields (``wall_time_s``, ``cached``, and any ``timing.*`` key).
+* An optional :class:`ResultCache` memoises results on disk keyed by
+  ``spec_hash()``; timing fields are stored but marked, so cache hits are
+  distinguishable.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments import registry
+from repro.experiments.reporting import flatten_info
+from repro.experiments.spec import ScenarioSpec
+
+SCHEMA = "repro-experiments/1"
+
+#: flattened result keys treated as timing (excluded from determinism checks)
+TIMING_PREFIX = "timing."
+
+
+@dataclass
+class ScenarioOutcome:
+    spec: ScenarioSpec
+    result: dict[str, Any]
+    wall_time_s: float
+    cached: bool
+
+
+class ResultCache:
+    """On-disk result cache keyed by spec hash (one JSON file per scenario).
+
+    The key covers the *spec contents only* — not the code that executes it.
+    A hit skips ``run_scenario`` entirely (including its ``check()``
+    invariants), so after changing an algorithm, the accounting, or a
+    scenario runner, clear the cache directory (or point ``--cache``
+    somewhere fresh); entries written under a different report ``schema``
+    version are rejected automatically.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, spec: ScenarioSpec) -> Path:
+        return self.directory / f"{spec.spec_hash()}.json"
+
+    def get(self, spec: ScenarioSpec) -> dict[str, Any] | None:
+        path = self._path(spec)
+        if not path.exists():
+            return None
+        try:
+            stored = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if stored.get("schema") != SCHEMA:
+            return None
+        # Hash prefixes could collide; trust only an exact spec match.
+        if stored.get("spec") != spec.as_dict():
+            return None
+        result = stored.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, spec: ScenarioSpec, result: dict[str, Any]) -> None:
+        payload = {"schema": SCHEMA, "spec": spec.as_dict(), "result": result}
+        self._path(spec).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _seed_from_hash(spec: ScenarioSpec) -> int:
+    return int(spec.spec_hash(), 16)
+
+
+def execute_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Run one spec in-process and return its flattened, JSON-safe result."""
+    registry.load_all()
+    experiment = registry.get_experiment(spec.experiment)
+    random.seed(_seed_from_hash(spec))
+    raw = experiment.run_scenario(spec)
+    # Sorted keys: a result re-read from the on-disk cache (which JSON-sorts)
+    # must serialise byte-identically to a freshly computed one.
+    flat = dict(sorted(flatten_info(raw).items()))
+    # Fail fast on anything a JSON consumer could not round-trip.
+    json.dumps(flat)
+    return flat
+
+
+def _worker(spec: ScenarioSpec) -> tuple[dict[str, Any], float]:
+    start = time.perf_counter()
+    result = execute_scenario(spec)
+    return result, time.perf_counter() - start
+
+
+def run_scenarios(
+    specs: list[ScenarioSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[ScenarioOutcome]:
+    """Run ``specs`` (sharded over ``jobs`` workers) and merge in spec order."""
+    outcomes: dict[int, ScenarioOutcome] = {}
+    pending: list[tuple[int, ScenarioSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[index] = ScenarioOutcome(spec, hit, 0.0, cached=True)
+        else:
+            pending.append((index, spec))
+
+    if pending:
+        pending_specs = [spec for _, spec in pending]
+        if jobs > 1 and len(pending_specs) > 1:
+            workers = min(jobs, len(pending_specs))
+            with multiprocessing.Pool(processes=workers) as pool:
+                executed = pool.map(_worker, pending_specs, chunksize=1)
+        else:
+            executed = [_worker(spec) for spec in pending_specs]
+        for (index, spec), (result, elapsed) in zip(pending, executed):
+            outcomes[index] = ScenarioOutcome(spec, result, elapsed, cached=False)
+            if cache is not None:
+                cache.put(spec, result)
+
+    return [outcomes[index] for index in range(len(specs))]
+
+
+def run_experiments(
+    experiment_ids: list[str],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> dict[str, Any]:
+    """Run whole experiments and assemble the stable JSON report.
+
+    The scenario lists of all requested experiments are concatenated and
+    sharded together (so a slow experiment's scenarios interleave with fast
+    ones), then regrouped per experiment for the cross-scenario ``verify``
+    hooks and the report.
+    """
+    experiments = [registry.get_experiment(identifier) for identifier in experiment_ids]
+    all_specs = [spec for experiment in experiments for spec in experiment.scenarios]
+    outcomes = run_scenarios(all_specs, jobs=jobs, cache=cache)
+
+    report: dict[str, Any] = {"schema": SCHEMA, "experiments": []}
+    cursor = 0
+    for experiment in experiments:
+        count = len(experiment.scenarios)
+        slice_ = outcomes[cursor : cursor + count]
+        cursor += count
+        results = [outcome.result for outcome in slice_]
+        summary = experiment.verify(results) if experiment.verify else {}
+        json.dumps(summary)
+        report["experiments"].append(
+            {
+                "id": experiment.id,
+                "title": experiment.title,
+                "scenarios": [
+                    {
+                        "spec": outcome.spec.as_dict(),
+                        "spec_hash": outcome.spec.spec_hash(),
+                        "cached": outcome.cached,
+                        "wall_time_s": outcome.wall_time_s,
+                        "result": outcome.result,
+                    }
+                    for outcome in slice_
+                ],
+                "summary": summary,
+            }
+        )
+    return report
+
+
+def strip_timing(report: dict[str, Any]) -> dict[str, Any]:
+    """A deep copy of ``report`` without timing/cache fields.
+
+    Strips the runner-level ``wall_time_s`` / ``cached`` per scenario and any
+    flattened result or summary key under ``timing.`` — the remainder must be
+    byte-identical across repeated runs, serial or parallel.
+    """
+    stripped = copy.deepcopy(report)
+    for experiment in stripped.get("experiments", []):
+        for scenario in experiment.get("scenarios", []):
+            scenario.pop("wall_time_s", None)
+            scenario.pop("cached", None)
+            result = scenario.get("result", {})
+            for key in [k for k in result if k.startswith(TIMING_PREFIX)]:
+                del result[key]
+        summary = experiment.get("summary", {})
+        for key in [k for k in summary if k.startswith(TIMING_PREFIX)]:
+            del summary[key]
+    return stripped

@@ -1,0 +1,76 @@
+"""Declarative, picklable scenario specifications.
+
+A :class:`ScenarioSpec` is the unit of work of the experiment orchestrator:
+one (graph family x size x seed x communication model x algorithm
+configuration) point, identified by the experiment it belongs to and a
+scenario name unique within that experiment.  Specs are frozen dataclasses
+built only from JSON-able primitives (and nested tuples of them), so they
+
+* pickle cleanly across ``multiprocessing`` workers,
+* serialise to a canonical JSON form, and
+* hash stably (``spec_hash``) for result caching — the hash depends only on
+  the spec contents, never on definition order or process state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def _freeze(value: Any) -> Any:
+    """Canonicalise a parameter value to primitives / nested tuples."""
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    raise TypeError(
+        f"scenario parameters must be JSON-able primitives or sequences, got {value!r}"
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """The JSON shape of a frozen value (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario: an experiment id, a unique name, and frozen parameters."""
+
+    experiment: str
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, experiment: str, name: str, **params: Any) -> "ScenarioSpec":
+        """Build a spec, canonicalising ``params`` (sorted keys, frozen values)."""
+        frozen = tuple(sorted((key, _freeze(value)) for key, value in params.items()))
+        return cls(experiment=experiment, name=name, params=frozen)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view: ``{"experiment", "name", "params": {...}}``."""
+        return {
+            "experiment": self.experiment,
+            "name": self.name,
+            "params": {key: _jsonable(value) for key, value in self.params},
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Stable content hash, the result-cache key."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,150 @@
+"""Regression tests for the accounting bugfixes shipped with the
+experiment-orchestration PR:
+
+* ``estimate_bits`` used to charge a flat 64 bits for ``__slots__``-only
+  payload objects (no ``__dict__``), under-billing CONGEST accounting;
+* ``Metrics.as_dict()`` used to let a ``per_model`` counter silently
+  overwrite a core counter of the same name;
+* ``benchmarks/common.py::record`` claimed to flatten ``as_dict()`` values
+  but stored nested dicts, hiding per-model counters from flat JSON
+  consumers.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import Metrics, estimate_bits
+from repro.experiments.reporting import flatten_info
+
+
+class _DictPayload:
+    def __init__(self, colour, weight):
+        self.colour = colour
+        self.weight = weight
+
+
+class _SlottedPayload:
+    __slots__ = ("colour", "weight")
+
+    def __init__(self, colour, weight):
+        self.colour = colour
+        self.weight = weight
+
+
+class _SlottedChild(_SlottedPayload):
+    __slots__ = ("extra",)
+
+    def __init__(self, colour, weight, extra):
+        super().__init__(colour, weight)
+        self.extra = extra
+
+
+class _SingleStringSlot:
+    __slots__ = "value"
+
+    def __init__(self, value):
+        self.value = value
+
+
+class TestSlottedEstimateBits:
+    def test_slotted_matches_dict_payload(self):
+        # The whole regression: slot values must be billed like __dict__ ones.
+        assert estimate_bits(_SlottedPayload("red", 1 << 40)) == estimate_bits(
+            _DictPayload("red", 1 << 40)
+        )
+
+    def test_slotted_payload_not_flat_64(self):
+        big = _SlottedPayload("x" * 64, 1 << 200)
+        assert estimate_bits(big) > 64
+        assert estimate_bits(big) == estimate_bits(
+            {"colour": "x" * 64, "weight": 1 << 200}
+        )
+
+    def test_slots_collected_across_mro(self):
+        child = _SlottedChild("blue", 7, (1, 2, 3))
+        assert estimate_bits(child) == estimate_bits(
+            {"colour": "blue", "weight": 7, "extra": (1, 2, 3)}
+        )
+
+    def test_single_string_slots_declaration(self):
+        assert estimate_bits(_SingleStringSlot(255)) == estimate_bits({"value": 255})
+
+    def test_unassigned_slot_is_skipped(self):
+        empty = _SlottedPayload.__new__(_SlottedPayload)
+        assert estimate_bits(empty) == estimate_bits({})
+
+    def test_plain_object_still_flat_64(self):
+        assert estimate_bits(object()) == 64
+
+    def test_dict_payloads_unchanged(self):
+        # The pre-fix path for __dict__ payloads must be byte-for-byte stable
+        # (the golden-run contract depends on it).
+        assert estimate_bits(_DictPayload("red", 3)) == estimate_bits(
+            {"colour": "red", "weight": 3}
+        )
+
+
+class TestMetricsCollision:
+    def test_per_model_counters_merge(self):
+        metrics = Metrics()
+        metrics.bump("broadcast_payloads", 5)
+        assert metrics.as_dict()["broadcast_payloads"] == 5
+
+    def test_core_counter_collision_raises(self):
+        metrics = Metrics()
+        metrics.bump("rounds")  # shadows the core counter
+        with pytest.raises(ValueError, match="rounds"):
+            metrics.as_dict()
+
+    def test_collision_detected_for_every_core_key(self):
+        for core_key in Metrics().as_dict():
+            metrics = Metrics()
+            metrics.per_model[core_key] = 1
+            with pytest.raises(ValueError):
+                metrics.as_dict()
+
+
+class _FakeBenchmark:
+    def __init__(self):
+        self.extra_info = {}
+
+
+def _load_benchmarks_common():
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "common.py"
+    spec = importlib.util.spec_from_file_location("benchmarks_common", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRecordFlattening:
+    def test_flatten_info_uses_dotted_keys(self):
+        flat = flatten_info({"metrics": {"rounds": 3, "per": {"x": 1}}, "n": 5})
+        assert flat == {"metrics.rounds": 3, "metrics.per.x": 1, "n": 5}
+
+    def test_flatten_info_calls_as_dict(self):
+        metrics = Metrics(rounds=2, bits_sent=10)
+        metrics.bump("virtual_link_messages", 4)
+        flat = flatten_info(metrics, prefix="metrics")
+        assert flat["metrics.rounds"] == 2
+        assert flat["metrics.virtual_link_messages"] == 4
+
+    def test_flatten_info_indexes_sequences_of_mappings(self):
+        flat = flatten_info({"instances": [{"n": 48}, {"n": 96}]})
+        assert flat == {"instances.0.n": 48, "instances.1.n": 96}
+
+    def test_record_flattens_metrics(self):
+        common = _load_benchmarks_common()
+        metrics = Metrics(rounds=7, bits_sent=99)
+        metrics.bump("broadcast_payloads", 2)
+        benchmark = _FakeBenchmark()
+        common.record(benchmark, metrics=metrics, n=10)
+        assert benchmark.extra_info["n"] == 10
+        assert benchmark.extra_info["metrics.rounds"] == 7
+        # the per-model counter no longer vanishes into a nested dict
+        assert benchmark.extra_info["metrics.broadcast_payloads"] == 2
+        assert not any(
+            isinstance(value, dict) for value in benchmark.extra_info.values()
+        )

@@ -1,0 +1,213 @@
+"""Tests for the experiment orchestration subsystem (repro.experiments).
+
+Covers the scenario registry (completeness, spec hashing, picklability),
+the sharded runner (serial/parallel determinism, caching, report schema),
+the global-random guard, and the CLI entry point.
+"""
+
+import json
+import pickle
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ResultCache,
+    ScenarioSpec,
+    execute_scenario,
+    experiment_ids,
+    get_experiment,
+    run_experiments,
+    strip_timing,
+)
+from repro.experiments.families import build_graph
+from repro.experiments.runner import SCHEMA
+
+# Cheap experiments (sub-second apiece) used wherever scenarios must actually run.
+FAST_IDS = ["E04", "E07", "E11"]
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRegistry:
+    def test_all_seventeen_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 18)]
+
+    def test_every_experiment_has_scenarios_and_columns(self):
+        for identifier in experiment_ids():
+            experiment = get_experiment(identifier)
+            assert experiment.scenarios, identifier
+            assert experiment.columns, identifier
+            names = [spec.name for spec in experiment.scenarios]
+            assert len(set(names)) == len(names), f"{identifier}: duplicate scenario names"
+            for spec in experiment.scenarios:
+                assert spec.experiment == identifier
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="E99"):
+            get_experiment("E99")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_experiment("e16").id == "E16"
+
+    def test_specs_pickle_and_serialise(self):
+        for identifier in experiment_ids():
+            for spec in get_experiment(identifier).scenarios:
+                clone = pickle.loads(pickle.dumps(spec))
+                assert clone == spec
+                assert clone.spec_hash() == spec.spec_hash()
+                json.dumps(spec.as_dict())
+
+    def test_spec_hashes_unique_across_registry(self):
+        hashes = [
+            spec.spec_hash()
+            for identifier in experiment_ids()
+            for spec in get_experiment(identifier).scenarios
+        ]
+        assert len(set(hashes)) == len(hashes)
+
+
+class TestScenarioSpec:
+    def test_hash_independent_of_keyword_order(self):
+        a = ScenarioSpec.make("EXX", "s", alpha=1, graph=("gnp", 10, 0.5, 1))
+        b = ScenarioSpec.make("EXX", "s", graph=["gnp", 10, 0.5, 1], alpha=1)
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_changes_with_params(self):
+        a = ScenarioSpec.make("EXX", "s", seed=1)
+        b = ScenarioSpec.make("EXX", "s", seed=2)
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_non_primitive_params_rejected(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec.make("EXX", "s", bad={"nested": "dict"})
+
+    def test_param_lookup(self):
+        spec = ScenarioSpec.make("EXX", "s", k=3, weights=(1.0, 2.0))
+        assert spec.param("k") == 3
+        assert spec.param("weights") == (1.0, 2.0)
+        assert spec.param("missing", 7) == 7
+
+
+class TestFamilies:
+    def test_known_families_build(self):
+        graph = build_graph(("connected_gnp", 12, 0.4, 1))
+        assert graph.number_of_nodes() == 12
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="no-such-family"):
+            build_graph(("no-such-family", 3))
+
+    def test_same_tuple_same_graph(self):
+        a = build_graph(("gnp", 30, 0.2, 9))
+        b = build_graph(("gnp", 30, 0.2, 9))
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+
+class TestRunnerDeterminism:
+    def test_report_schema(self):
+        report = run_experiments(["E11"], jobs=1)
+        assert report["schema"] == SCHEMA
+        (entry,) = report["experiments"]
+        assert entry["id"] == "E11"
+        for scenario in entry["scenarios"]:
+            assert set(scenario) == {"spec", "spec_hash", "cached", "wall_time_s", "result"}
+            assert scenario["cached"] is False
+            json.dumps(scenario["result"])
+
+    def test_serial_runs_identical(self):
+        first = json.dumps(strip_timing(run_experiments(FAST_IDS, jobs=1)))
+        second = json.dumps(strip_timing(run_experiments(FAST_IDS, jobs=1)))
+        assert first == second
+
+    def test_parallel_matches_serial(self):
+        serial = json.dumps(strip_timing(run_experiments(FAST_IDS, jobs=1)))
+        parallel = json.dumps(strip_timing(run_experiments(FAST_IDS, jobs=4)))
+        assert serial == parallel
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_experiments(["E11"], jobs=1, cache=cache)
+        assert all(not s["cached"] for s in cold["experiments"][0]["scenarios"])
+        warm = run_experiments(["E11"], jobs=1, cache=ResultCache(tmp_path / "cache"))
+        assert all(s["cached"] for s in warm["experiments"][0]["scenarios"])
+        assert json.dumps(strip_timing(cold)) == json.dumps(strip_timing(warm))
+
+    def test_cache_ignores_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = get_experiment("E11").scenarios[0]
+        (tmp_path / f"{spec.spec_hash()}.json").write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_strip_timing_removes_only_timing(self):
+        report = run_experiments(["E16"], jobs=1)
+        stripped = strip_timing(report)
+        for scenario in stripped["experiments"][0]["scenarios"]:
+            assert "wall_time_s" not in scenario
+            assert "cached" not in scenario
+            assert not any(k.startswith("timing.") for k in scenario["result"])
+            assert "rounds" in scenario["result"]  # physics untouched
+        # the original report still has its timing fields
+        assert all(
+            "wall_time_s" in s for s in report["experiments"][0]["scenarios"]
+        )
+
+
+class TestGlobalRandomGuard:
+    # One representative cheap scenario per experiment family.
+    SPECS = [
+        ("E04", 0),  # weighted spanner
+        ("E07", 0),  # one-plus-eps
+        ("E11", 0),  # lower-bound construction
+        ("E13", 3),  # Baswana-Sen (k=4, the cheapest)
+    ]
+
+    @pytest.mark.parametrize("experiment_id,index", SPECS)
+    def test_scenarios_leave_global_random_untouched(self, experiment_id, index):
+        experiment = get_experiment(experiment_id)
+        spec = experiment.scenarios[index]
+        random.seed(20260728)
+        state = random.getstate()
+        experiment.run_scenario(spec)
+        assert random.getstate() == state, (
+            f"{experiment_id}/{spec.name} mutated the global random state"
+        )
+
+    def test_execute_scenario_reseeds_deterministically(self):
+        spec = get_experiment("E11").scenarios[0]
+        random.seed(1)
+        first = execute_scenario(spec)
+        random.seed(99)  # a different ambient state must not matter
+        second = execute_scenario(spec)
+        assert first == second
+
+
+class TestCLI:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_list(self):
+        proc = self._run("list")
+        assert proc.returncode == 0
+        assert "E01" in proc.stdout and "E17" in proc.stdout
+
+    def test_run_writes_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run("run", "E11", "--jobs", "1", "--json", str(out), "--no-tables")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert report["experiments"][0]["id"] == "E11"
+
+    def test_run_requires_ids_or_all(self):
+        proc = self._run("run")
+        assert proc.returncode != 0

@@ -7,6 +7,14 @@ bit-for-bit; these tests pin that contract so future engine work cannot
 silently change results.  A differential test additionally checks the
 ``indexed`` engine against the retained ``reference`` engine on fresh
 workloads.
+
+One deliberate re-capture: when ``estimate_bits`` learned to encode
+``__slots__``-only payloads (it used to flat-bill 64 bits, under-billing the
+``Fraction`` densities the spanner algorithm broadcasts), ``bits_sent`` /
+``max_message_bits`` in the spanner goldens were regenerated under the
+corrected accounting.  Every physics field — edges, rounds, iterations,
+fallbacks, dominators — and the whole MDS record were verified unchanged
+before the rewrite, and both engines still agree bit-for-bit.
 """
 
 import json
