@@ -11,6 +11,7 @@ from repro.core.directed_two_spanner import (
     DirectedTwoSpannerResult,
     run_directed_two_spanner,
 )
+from repro.core.flood_max import FloodMaxProgram, FloodMaxResult, run_flood_max
 from repro.core.mds import MDSOptions, MDSResult, run_mds
 from repro.core.network_decomposition import (
     Decomposition,
@@ -43,6 +44,8 @@ __all__ = [
     "CliqueTwoSpannerProgram",
     "Decomposition",
     "DirectedTwoSpannerResult",
+    "FloodMaxProgram",
+    "FloodMaxResult",
     "MDSOptions",
     "MDSResult",
     "NodeSetup",
@@ -59,6 +62,7 @@ __all__ = [
     "clique_spanner_round_bound",
     "decomposition_round_bound",
     "network_decomposition",
+    "run_flood_max",
     "one_plus_eps_spanner",
     "radius_budget",
     "run_clique_two_spanner",

@@ -101,6 +101,7 @@ class BitsMemo:
         self._memo: dict[int, int] = {}
 
     def measure(self, payload: object) -> int:
+        """Size of ``payload`` in bits, computed once per distinct object."""
         key = id(payload)
         bits = self._memo.get(key)
         if bits is None:
@@ -108,6 +109,7 @@ class BitsMemo:
         return bits
 
     def reset(self) -> None:
+        """Forget all measurements (ids may be reused once payloads die)."""
         self._memo.clear()
 
 

@@ -1,8 +1,75 @@
-"""Communication metrics collected by the round simulator."""
+"""Communication metrics and per-link accounting for the round simulator.
+
+:class:`Metrics` is the aggregate counter block every engine fills in;
+:class:`LinkLedger` is the preallocated per-link bit ledger the indexed
+engine charges CONGEST bandwidth against (the batch engine needs no ledger:
+one broadcast payload per sender per round means a link's round total *is*
+the payload size).
+"""
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+
+
+class LinkLedger:
+    """Preallocated per-link running bit totals for one delivery pass.
+
+    Links are identified by their global CSR arc position in a
+    :class:`~repro.graphs.topology.CompiledTopology` (dense in
+    ``0..arc_count-1``), so the ledger is a flat 64-bit array instead of a
+    ``(src, dst) -> bits`` hash table.  ``touched`` remembers which
+    positions were charged so that resetting between rounds costs
+    O(messages), not O(arcs).  The simulator's hot loop reads ``bits`` and
+    ``touched`` directly; :meth:`reset_round` is the only method it calls
+    per round.
+    """
+
+    __slots__ = ("bits", "touched")
+
+    def __init__(self, arc_count: int) -> None:
+        self.bits = array("q", [0]) * arc_count
+        self.touched: list[int] = []
+
+    def reset_round(self) -> None:
+        """Zero every charged position and forget the touched set."""
+        bits = self.bits
+        for pos in self.touched:
+            bits[pos] = 0
+        self.touched.clear()
+
+
+def flush_round_tally(
+    metrics: "Metrics",
+    messages: int,
+    bits_total: int,
+    max_bits: int,
+    cut_messages: int,
+    cut_bits: int,
+    violations: int,
+    broadcast_payloads: int,
+    virtual_messages: int,
+) -> None:
+    """Fold one delivery pass's locally-accumulated counters into ``metrics``.
+
+    The indexed and batch engines accumulate per-pass counts in plain locals
+    (the hot loops must not pay attribute access per message) and flush them
+    here — once per round, and once more before an enforcement raise.  Both
+    engines sharing this function is part of the bit-for-bit engine-parity
+    contract: a counter added for one engine is necessarily added for both.
+    """
+    metrics.messages_sent += messages
+    metrics.bits_sent += bits_total
+    metrics.max_message_bits = max_bits
+    metrics.cut_messages += cut_messages
+    metrics.cut_bits += cut_bits
+    metrics.bandwidth_violations += violations
+    metrics.bits_per_round[-1] += bits_total
+    if broadcast_payloads:
+        metrics.bump("broadcast_payloads", broadcast_payloads)
+    if virtual_messages:
+        metrics.bump("virtual_link_messages", virtual_messages)
 
 
 @dataclass
@@ -36,6 +103,7 @@ class Metrics:
     per_model: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, bits: int, crosses_cut: bool) -> None:
+        """Tally one delivered message of ``bits`` bits (reference engine)."""
         self.messages_sent += 1
         self.bits_sent += bits
         self.max_message_bits = max(self.max_message_bits, bits)
@@ -45,6 +113,7 @@ class Metrics:
             self.cut_bits += bits
 
     def start_round(self) -> None:
+        """Advance the round counter and open a fresh ``bits_per_round`` bucket."""
         self.rounds += 1
         self.bits_per_round.append(0)
 

@@ -113,6 +113,7 @@ class CommunicationModel:
     # ---------------------------------------------------------------- dunder
     @property
     def name(self) -> str:
+        """The model's literature name (e.g. ``"BROADCAST-CONGEST"``)."""
         return self.model.value
 
     def _key(self) -> tuple:
@@ -146,6 +147,7 @@ class CongestModel(CommunicationModel):
 
     @property
     def bandwidth_bits(self) -> int | None:
+        """The CONGEST per-link budget: ``logn_factor * ceil(log2 n)`` bits."""
         return congest_budget_bits(self.n, self.logn_factor)
 
     def _key(self) -> tuple:
@@ -224,22 +226,26 @@ def ModelConfig(
 
 
 def local_model(n: int) -> LocalModel:
+    """A LOCAL policy for an ``n``-node graph (unbounded bandwidth)."""
     return LocalModel(n)
 
 
 def congest_model(n: int, enforce: bool = True, logn_factor: int = 32) -> CongestModel:
+    """A CONGEST policy: O(log n) bits per link per round on the input graph."""
     return CongestModel(n, enforce=enforce, logn_factor=logn_factor)
 
 
 def broadcast_congest_model(
     n: int, enforce: bool = True, logn_factor: int = 32
 ) -> BroadcastCongestModel:
+    """A broadcast-CONGEST policy: one O(log n)-bit broadcast per round."""
     return BroadcastCongestModel(n, enforce=enforce, logn_factor=logn_factor)
 
 
 def congested_clique_model(
     n: int, enforce: bool = True, logn_factor: int = 32
 ) -> CongestedCliqueModel:
+    """A Congested Clique policy: all-to-all O(log n)-bit overlay links."""
     return CongestedCliqueModel(n, enforce=enforce, logn_factor=logn_factor)
 
 

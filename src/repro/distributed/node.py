@@ -10,6 +10,10 @@ from repro.distributed.errors import MessageAdmissionError, NotANeighborError
 
 Node = Hashable
 
+#: Sentinel marking "no broadcast queued this round" in batch-collection
+#: mode; distinct from ``None``, which is a perfectly legal payload.
+NO_BROADCAST: Any = object()
+
 
 class NodeContext:
     """Everything a vertex may legitimately use in its communication model.
@@ -24,6 +28,13 @@ class NodeContext:
 
     Under a broadcast-only model (broadcast-CONGEST) targeted sends are
     rejected and at most one broadcast per round is admitted.
+
+    Under the ``batch`` simulator engine (``batch=True``) the context
+    collects the round's single broadcast payload by reference instead of
+    materialising one ``(dst, payload)`` tuple per neighbour; targeted sends
+    are rejected with a clear error (the batch fast path is defined only for
+    broadcast traffic) and one broadcast per round is admitted regardless of
+    the communication model.
     """
 
     def __init__(
@@ -34,6 +45,7 @@ class NodeContext:
         rng: random.Random,
         graph_neighbors: frozenset[Node] | None = None,
         broadcast_only: bool = False,
+        batch: bool = False,
     ) -> None:
         self.node_id = node_id
         self.neighbors = neighbors
@@ -44,8 +56,10 @@ class NodeContext:
         self.halted = False
         self.output: Any = None
         self._broadcast_only = broadcast_only
+        self._batch = batch
         self._last_broadcast_round = -1
         self._outbox: list[tuple[Node, Any]] = []
+        self._batch_payload: Any = NO_BROADCAST
 
     # ------------------------------------------------------------------ sends
     def send(self, dst: Node, payload: Any) -> None:
@@ -55,6 +69,12 @@ class NodeContext:
                 f"node {self.node_id!r}: targeted send is not admitted in a "
                 f"broadcast-only model; use broadcast()"
             )
+        if self._batch:
+            raise MessageAdmissionError(
+                f"node {self.node_id!r}: targeted send is not supported by the "
+                f"batch engine, which fast-paths broadcast-only traffic; run "
+                f"this program under engine='indexed' (or use broadcast())"
+            )
         if dst not in self.neighbors:
             raise NotANeighborError(
                 f"node {self.node_id!r} tried to message non-neighbour {dst!r}"
@@ -63,15 +83,24 @@ class NodeContext:
 
     def broadcast(self, payload: Any) -> None:
         """Queue ``payload`` for every (communication) neighbour."""
-        if self._broadcast_only:
+        if self._broadcast_only or self._batch:
             # Round-based, not outbox-based, so the one-broadcast-per-round
             # contract also holds for degree-0 nodes (empty outboxes).
             if self._last_broadcast_round == self.round:
+                if self._broadcast_only:
+                    raise MessageAdmissionError(
+                        f"node {self.node_id!r}: broadcast-only models admit one "
+                        f"identical payload to all neighbours per round"
+                    )
                 raise MessageAdmissionError(
-                    f"node {self.node_id!r}: broadcast-only models admit one "
-                    f"identical payload to all neighbours per round"
+                    f"node {self.node_id!r}: the batch engine admits one "
+                    f"broadcast per node per round (its fast path interns the "
+                    f"round's payload once per sender)"
                 )
             self._last_broadcast_round = self.round
+        if self._batch:
+            self._batch_payload = payload
+            return
         self._outbox.extend((dst, payload) for dst in self.neighbors)
 
     # ----------------------------------------------------------------- control

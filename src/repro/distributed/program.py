@@ -10,6 +10,7 @@ from repro.distributed.errors import MessageAdmissionError
 from repro.distributed.node import NodeContext
 
 Node = Hashable
+#: Round inbox shape: each neighbour maps to the payloads it sent this round.
 Inbox = dict[Node, list[Any]]
 
 

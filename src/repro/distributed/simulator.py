@@ -16,16 +16,28 @@ clique) decouple the *communication* topology from the input graph: messages
 travel on a virtual complete graph while programs still compute on the input
 graph exposed as ``ctx.graph_neighbors``.
 
-Two engines share the public API and produce identical results:
+Three engines share the public API and produce identical results:
 
 * ``indexed`` (default) — runs on the model's compiled communication
   topology (:meth:`~repro.distributed.models.CommunicationModel.communication_topology`):
   contexts and programs live in dense lists, an active-set scheduler skips
   halted vertices, inboxes are materialised only for vertices with pending
-  traffic, per-link bandwidth accounting uses a preallocated array indexed
-  by CSR arc position, and message sizes are measured once per distinct
-  payload object per round
-  (:class:`~repro.distributed.encoding.BitsMemo`).
+  traffic, per-link bandwidth accounting uses a preallocated
+  :class:`~repro.distributed.metrics.LinkLedger` indexed by CSR arc
+  position, and message sizes are measured once per distinct payload object
+  per round (:class:`~repro.distributed.encoding.BitsMemo`).
+* ``batch`` — a struct-of-arrays fast path for *broadcast-only* traffic.
+  It exploits the broadcast-admission invariant (one identical payload per
+  sender per round, the rule :class:`~repro.distributed.models.BroadcastCongestModel`
+  enforces and every broadcast-style workload obeys): each round's payload
+  is interned once per sender, sized once, and delivered by CSR slice over
+  the compiled topology instead of constructing one ``(dst, payload)``
+  message object per neighbour.  Cut/overlay/bandwidth accounting collapses
+  to per-sender arithmetic on preallocated per-node count arrays.  Targeted
+  sends raise :class:`~repro.distributed.errors.MessageAdmissionError`
+  (there is no silent fallback to the general path); for programs that only
+  broadcast, the engine is bit-for-bit identical to ``indexed`` under every
+  communication model.
 * ``reference`` — the original dict-of-dicts engine, kept as the
   differential-testing oracle and as the baseline the throughput benchmark
   (E16) measures speedups against.
@@ -41,9 +53,9 @@ from typing import Any
 
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
-from repro.distributed.metrics import Metrics
+from repro.distributed.metrics import LinkLedger, Metrics, flush_round_tally
 from repro.distributed.models import CommunicationModel, LocalModel, Model, ModelConfig
-from repro.distributed.node import NodeContext
+from repro.distributed.node import NO_BROADCAST, NodeContext
 from repro.distributed.program import NodeProgram
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
@@ -51,7 +63,7 @@ from repro.graphs.graph import Graph
 Node = Hashable
 ProgramFactory = Callable[[Node], NodeProgram]
 
-ENGINES = ("indexed", "reference")
+ENGINES = ("indexed", "batch", "reference")
 
 
 @dataclass
@@ -64,6 +76,7 @@ class RunResult:
 
     @property
     def rounds(self) -> int:
+        """Number of synchronous rounds the simulation executed."""
         return self.metrics.rounds
 
     def as_dict(self) -> dict[str, Any]:
@@ -104,9 +117,12 @@ class Simulator:
         crossing between this set and its complement are tallied separately
         (used by the lower-bound reduction harness).
     engine:
-        ``"indexed"`` (the compiled-topology engine, default) or
-        ``"reference"`` (the original dict-based engine).  Both produce
-        identical outputs and metrics for a fixed seed.
+        ``"indexed"`` (the compiled-topology engine, default),
+        ``"batch"`` (the broadcast-only struct-of-arrays fast path) or
+        ``"reference"`` (the original dict-based engine).  All engines
+        produce identical outputs and metrics for a fixed seed; ``batch``
+        additionally requires the program to communicate exclusively via
+        ``ctx.broadcast`` and raises on targeted sends.
     """
 
     def __init__(
@@ -137,10 +153,63 @@ class Simulator:
         self.topology = self.model.communication_topology(self.graph)
         if self.engine == "reference":
             return self._run_reference(max_rounds, raise_on_limit)
+        if self.engine == "batch":
+            return self._run_batch(max_rounds, raise_on_limit)
         return self._run_indexed(max_rounds, raise_on_limit)
 
-    # -------------------------------------------------------- indexed engine
-    def _run_indexed(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+    def _drive(
+        self,
+        contexts: list[NodeContext],
+        programs: list[NodeProgram],
+        collect: Callable[[Iterable[int]], list[dict[Node, list[Any]] | None]],
+        metrics: Metrics,
+        max_rounds: int,
+        raise_on_limit: bool,
+    ) -> list[int]:
+        """The shared round loop of the list-indexed engines.
+
+        Runs ``on_start`` on every program, then alternates program rounds
+        with ``collect`` (which drains the queued traffic of the given
+        senders and returns sparse inboxes) until every node halts.  Returns
+        the final active set (empty iff the run completed).
+        """
+        n = len(contexts)
+        for i in range(n):
+            programs[i].on_start(contexts[i])
+
+        pending = collect(range(n))
+        active = [i for i in range(n) if not contexts[i].halted]
+
+        while active:
+            if metrics.rounds >= max_rounds:
+                if raise_on_limit:
+                    raise RoundLimitExceededError(
+                        f"simulation exceeded {max_rounds} rounds"
+                    )
+                break
+            metrics.start_round()
+            current_round = metrics.rounds
+            for i in active:
+                ctx = contexts[i]
+                ctx.round = current_round
+                inbox = pending[i]
+                programs[i].on_round(ctx, inbox if inbox is not None else {})
+            pending = collect(active)
+            active = [i for i in active if not contexts[i].halted]
+        return active
+
+    def _build_contexts(
+        self, batch: bool
+    ) -> tuple[list[NodeContext], list[NodeProgram], list[frozenset[Node]] | None]:
+        """Seed RNGs and build contexts/programs for the list-indexed engines.
+
+        Shared by the indexed and batch engines so that the master-RNG
+        consumption order, the overlay adjacency derivation and the context
+        wiring can never diverge between them (the bit-for-bit engine-parity
+        contract depends on all three).  Overlay models expose the input
+        graph's adjacency separately: overlay labels reuse ``graph.freeze()``
+        order, hence the index spaces coincide.
+        """
         topo = self.topology
         model = self.model
         n = topo.n
@@ -148,9 +217,6 @@ class Simulator:
         master = random.Random(self.seed)
         node_seeds = [master.randrange(2**63) for _ in range(n)]
 
-        # Overlay models: programs compute on the input graph, so expose its
-        # adjacency separately (overlay labels reuse graph.freeze() order,
-        # hence the index spaces coincide).
         graph_sets: list[frozenset[Node]] | None = None
         if model.uses_overlay:
             graph_topo = self.graph.freeze()
@@ -168,47 +234,34 @@ class Simulator:
                     rng=random.Random(node_seeds[i]),
                     graph_neighbors=graph_sets[i] if graph_sets is not None else None,
                     broadcast_only=broadcast_only,
+                    batch=batch,
                 )
             )
             programs.append(self.program_factory(labels[i]))
+        return contexts, programs, graph_sets
+
+    # -------------------------------------------------------- indexed engine
+    def _run_indexed(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+        topo = self.topology
+        model = self.model
+        n = topo.n
+        labels = topo.labels
+        contexts, programs, graph_sets = self._build_contexts(batch=False)
 
         metrics = Metrics()
         model.init_metrics(metrics)
         memo = BitsMemo()
         budget = model.bandwidth_bits
-        # Per-link running totals, indexed by CSR arc position; ``touched``
-        # remembers which positions to zero between rounds so a round costs
-        # O(messages), not O(arcs).
-        link_bits = array("q", [0]) * topo.arc_count if budget is not None else None
-        touched: list[int] = []
+        # Per-link running totals, indexed by CSR arc position, zeroed in
+        # O(messages) between rounds.
+        ledger = LinkLedger(topo.arc_count) if budget is not None else None
 
-        for i in range(n):
-            programs[i].on_start(contexts[i])
-
-        pending = self._collect_indexed(
-            contexts, range(n), metrics, memo, budget, link_bits, touched, graph_sets
-        )
-        active = [i for i in range(n) if not contexts[i].halted]
-
-        while active:
-            if metrics.rounds >= max_rounds:
-                if raise_on_limit:
-                    raise RoundLimitExceededError(
-                        f"simulation exceeded {max_rounds} rounds"
-                    )
-                break
-            metrics.start_round()
-            current_round = metrics.rounds
-            for i in active:
-                ctx = contexts[i]
-                ctx.round = current_round
-                inbox = pending[i]
-                programs[i].on_round(ctx, inbox if inbox is not None else {})
-            pending = self._collect_indexed(
-                contexts, active, metrics, memo, budget, link_bits, touched, graph_sets
+        def collect(sender_ids: Iterable[int]) -> list[dict[Node, list[Any]] | None]:
+            return self._collect_indexed(
+                contexts, sender_ids, metrics, memo, budget, ledger, graph_sets
             )
-            active = [i for i in active if not contexts[i].halted]
 
+        active = self._drive(contexts, programs, collect, metrics, max_rounds, raise_on_limit)
         outputs = {labels[i]: contexts[i].output for i in range(n)}
         return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
@@ -219,8 +272,7 @@ class Simulator:
         metrics: Metrics,
         memo: BitsMemo,
         budget: int | None,
-        link_bits: array | None,
-        touched: list[int],
+        ledger: LinkLedger | None,
         graph_sets: list[frozenset[Node]] | None,
     ) -> list[dict[Node, list[Any]] | None]:
         """Drain outboxes, apply bandwidth accounting and build sparse inboxes."""
@@ -228,6 +280,10 @@ class Simulator:
         labels = topo.labels
         index = topo.index
         cut = self.cut
+        if ledger is not None:
+            link_bits, touched = ledger.bits, ledger.touched
+        else:
+            link_bits, touched = None, None
         count_broadcasts = self.model.broadcast_only
         inboxes: list[dict[Node, list[Any]] | None] = [None] * topo.n
 
@@ -241,17 +297,10 @@ class Simulator:
         virtual_messages = 0
 
         def flush() -> None:
-            metrics.messages_sent += messages
-            metrics.bits_sent += bits_total
-            metrics.max_message_bits = max_bits
-            metrics.cut_messages += cut_messages
-            metrics.cut_bits += cut_bits
-            metrics.bandwidth_violations += violations
-            metrics.bits_per_round[-1] += bits_total
-            if broadcast_payloads:
-                metrics.bump("broadcast_payloads", broadcast_payloads)
-            if virtual_messages:
-                metrics.bump("virtual_link_messages", virtual_messages)
+            flush_round_tally(
+                metrics, messages, bits_total, max_bits, cut_messages,
+                cut_bits, violations, broadcast_payloads, virtual_messages,
+            )
 
         for src_i in sender_ids:
             outbox = contexts[src_i]._outbox
@@ -302,11 +351,156 @@ class Simulator:
 
         flush()
         memo.reset()
-        if link_bits is not None and touched:
-            for pos in touched:
-                link_bits[pos] = 0
-            touched.clear()
+        if ledger is not None:
+            ledger.reset_round()
         return inboxes
+
+    # --------------------------------------------------------- batch engine
+    def _run_batch(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+        """Struct-of-arrays fast path for broadcast-only traffic.
+
+        Exploits the broadcast-admission invariant — one identical payload
+        per sender per round — to collapse per-message work into per-sender
+        work: the payload is interned once (no per-neighbour ``(dst,
+        payload)`` tuples), sized once with
+        :func:`~repro.distributed.encoding.estimate_bits`, and delivered by
+        CSR slice.  Cut-crossing and overlay accounting use per-node
+        neighbour counts precomputed once per run, and CONGEST enforcement
+        reduces to a single ``bits > budget`` comparison per sender (a
+        link's round total equals the payload size, so no
+        :class:`~repro.distributed.metrics.LinkLedger` is needed).
+
+        Bit-for-bit identical to the indexed engine for any program that
+        communicates exclusively via ``ctx.broadcast``; targeted sends raise
+        :class:`~repro.distributed.errors.MessageAdmissionError` inside
+        ``ctx.send``.  One deliberate representation difference: the
+        single-payload inbox lists of one broadcast are *shared* between its
+        receivers (the indexed engine allocates one list per receiver), so
+        programs must treat inbox values as read-only — which every shipped
+        program and :class:`~repro.distributed.program.BroadcastNodeProgram`
+        already do.
+        """
+        topo = self.topology
+        model = self.model
+        n = topo.n
+        labels = topo.labels
+        contexts, programs, graph_sets = self._build_contexts(batch=True)
+        broadcast_only = model.broadcast_only
+
+        metrics = Metrics()
+        model.init_metrics(metrics)
+        budget = model.bandwidth_bits
+        enforce = model.enforce
+        indptr, indices = topo.indptr, topo.indices
+        cut = self.cut
+
+        # Materialise each sender's CSR slice as a plain list once per run:
+        # iterating a list of cached int objects beats re-decoding array("q")
+        # entries on every delivery, and the delivery loop is the hot path.
+        nbr_lists: list[list[int]] = [
+            list(indices[indptr[i] : indptr[i + 1]]) for i in range(n)
+        ]
+
+        # Per-sender accounting collapses to precomputed neighbour counts:
+        # a broadcast from ``i`` crosses the cut ``cut_counts[i]`` times and
+        # uses ``virtual_counts[i]`` non-input-graph overlay links, no
+        # matter what the payload is.
+        cut_counts: array | None = None
+        if cut is not None:
+            side = [labels[i] in cut for i in range(n)]
+            cut_counts = array("q", [0]) * n
+            for i in range(n):
+                mine = side[i]
+                cut_counts[i] = sum(
+                    1 for pos in range(indptr[i], indptr[i + 1]) if side[indices[pos]] != mine
+                )
+        virtual_counts: array | None = None
+        if graph_sets is not None:
+            virtual_counts = array("q", [0]) * n
+            for i in range(n):
+                gset = graph_sets[i]
+                virtual_counts[i] = sum(
+                    1
+                    for pos in range(indptr[i], indptr[i + 1])
+                    if labels[indices[pos]] not in gset
+                )
+
+        def collect(sender_ids: Iterable[int]) -> list[dict[Node, list[Any]] | None]:
+            inboxes: list[dict[Node, list[Any]] | None] = [None] * n
+            # Halting only changes between collection passes, so one dense
+            # snapshot replaces a per-message attribute dereference.
+            halted = [ctx.halted for ctx in contexts]
+
+            messages = 0
+            bits_total = 0
+            max_bits = metrics.max_message_bits
+            cut_messages = 0
+            cut_bits = 0
+            violations = 0
+            broadcast_payloads = 0
+            virtual_messages = 0
+
+            def flush() -> None:
+                flush_round_tally(
+                    metrics, messages, bits_total, max_bits, cut_messages,
+                    cut_bits, violations, broadcast_payloads, virtual_messages,
+                )
+
+            for src_i in sender_ids:
+                ctx = contexts[src_i]
+                payload = ctx._batch_payload
+                if payload is NO_BROADCAST:
+                    continue
+                ctx._batch_payload = NO_BROADCAST
+                nbrs = nbr_lists[src_i]
+                deg = len(nbrs)
+                if not deg:
+                    # A degree-0 broadcast delivers nothing (matches the
+                    # indexed engine's empty outbox: no metrics, no counter).
+                    continue
+                bits = estimate_bits(payload)
+                messages += deg
+                bits_total += deg * bits
+                if bits > max_bits:
+                    max_bits = bits
+                if broadcast_only:
+                    broadcast_payloads += 1
+                if cut_counts is not None:
+                    crossing = cut_counts[src_i]
+                    if crossing:
+                        cut_messages += crossing
+                        cut_bits += crossing * bits
+                if virtual_counts is not None:
+                    virtual_messages += virtual_counts[src_i]
+                if budget is not None and bits > budget:
+                    violations += deg
+                    if enforce:
+                        flush()
+                        src = labels[src_i]
+                        raise BandwidthExceededError(
+                            f"message(s) on link {src!r}->{labels[nbrs[0]]!r} use "
+                            f"{bits} bits, budget is {budget} "
+                            f"({model.name})"
+                        )
+                src = labels[src_i]
+                # One payload list shared by every receiver (read-only inbox
+                # contract; saves an allocation per delivered message).
+                plist = [payload]
+                for dst_i in nbrs:
+                    if halted[dst_i]:
+                        continue
+                    box = inboxes[dst_i]
+                    if box is None:
+                        inboxes[dst_i] = {src: plist}
+                    else:
+                        box[src] = plist
+
+            flush()
+            return inboxes
+
+        active = self._drive(contexts, programs, collect, metrics, max_rounds, raise_on_limit)
+        outputs = {labels[i]: contexts[i].output for i in range(n)}
+        return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
     # ------------------------------------------------------ reference engine
     def _run_reference(self, max_rounds: int, raise_on_limit: bool) -> RunResult:

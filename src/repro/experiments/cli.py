@@ -3,10 +3,12 @@
 Subcommands::
 
     list                          show every registered experiment + scenarios
-    run E01 E16 E17 [--all]       run experiments (sharded over --jobs workers)
+    run E01 E16 E18 [--all]       run experiments (sharded over --jobs workers)
         --jobs N                  worker processes (default 1)
         --json PATH               write the stable JSON report
         --cache DIR               on-disk result cache keyed by spec hash
+        --engine NAME             pin engine-aware scenarios to one simulator
+                                  engine (reference / indexed / batch)
         --strip-timing            drop wall-time fields from the JSON so
                                   repeated runs are byte-identical
         --no-tables               suppress the reproduced tables
@@ -23,6 +25,7 @@ import sys
 import time
 from typing import Any
 
+from repro.distributed.simulator import ENGINES
 from repro.experiments import registry
 from repro.experiments.registry import ExperimentCheckError
 from repro.experiments.reporting import experiment_table
@@ -52,7 +55,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache) if args.cache else None
     started = time.perf_counter()
     try:
-        report = run_experiments(identifiers, jobs=args.jobs, cache=cache)
+        report = run_experiments(
+            identifiers, jobs=args.jobs, cache=cache, engine=args.engine
+        )
     except ExperimentCheckError as error:
         print(f"experiment check failed: {error}", file=sys.stderr)
         return 1
@@ -93,9 +98,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``python -m repro.experiments`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run the E01-E17 experiment reproductions through the "
+        description="Run the E01-E18 experiment reproductions through the "
         "scenario registry and sharded runner.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -115,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "contents only — clear the directory after code changes)",
     )
     runner.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="pin engine-aware scenarios to one simulator engine (the "
+        "override becomes part of each spec, hence of its cache key); "
+        "'batch' requires broadcast-only workloads and raises otherwise",
+    )
+    runner.add_argument(
         "--strip-timing",
         action="store_true",
         help="omit wall-time fields from the JSON (byte-identical across runs)",
@@ -125,5 +139,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     return args.func(args)

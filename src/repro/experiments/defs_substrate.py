@@ -1,17 +1,22 @@
-"""Registry definitions for the substrate experiments E16 (throughput) and
-E17 (Congested Clique vs CONGEST).
+"""Registry definitions for the substrate experiments: E16 (indexed-engine
+throughput), E17 (Congested Clique vs CONGEST) and E18 (batch-engine scale
+sweep).
 
-E16 measures wall time by design, so its timing lives under ``timing.*``
-result keys — the one namespace the determinism contract excludes (see
-:func:`repro.experiments.runner.strip_timing`); physics (rounds, edges,
-metrics) must still be bit-for-bit identical across engines and runs.  The
-engine-speedup *assertion* stays in the pytest wrapper
-(``benchmarks/bench_e16_simulator_throughput.py``) where the environment
-knob lives; the registry ``verify`` only pins physics equality so CLI sweeps
-on loaded machines never flake.
+E16 and E18 measure wall time by design, so their timing lives under
+``timing.*`` result keys — the one namespace the determinism contract
+excludes (see :func:`repro.experiments.runner.strip_timing`); physics
+(rounds, edges, metrics) must still be bit-for-bit identical across engines
+and runs.  The engine-speedup *assertions* stay in the pytest wrappers
+(``benchmarks/bench_e16_simulator_throughput.py`` /
+``benchmarks/bench_e18_batch_engine.py``) where the environment knobs live;
+the registry ``verify`` hooks only pin physics equality so CLI sweeps on
+loaded machines never flake.
 
 E17 compares edge sets across scenarios through a canonical hash instead of
-embedding every edge list in the report.
+embedding every edge list in the report.  E18 pushes a pure-broadcast
+flood-max workload (``repro.core.flood_max``) to n >= 20000 on the
+``batch`` engine, with an indexed-engine twin at n = 20000 as the
+differential/throughput baseline.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import Any
 from repro.core import (
     clique_spanner_round_bound,
     run_clique_two_spanner,
+    run_flood_max,
     run_two_spanner,
 )
 from repro.distributed import congest_model
@@ -46,7 +52,7 @@ def edges_digest(edges) -> str:
 
 def _run_e16(spec: ScenarioSpec) -> dict[str, Any]:
     graph = build_graph(spec.param("graph"))
-    engine = spec.param("engine")
+    engine = spec.engine or "indexed"
     start = time.perf_counter()
     result = run_two_spanner(graph, seed=spec.param("run_seed"), engine=engine)
     elapsed = time.perf_counter() - start
@@ -118,7 +124,7 @@ def _run_e17(spec: ScenarioSpec) -> dict[str, Any]:
             graph, seed=spec.param("run_seed"), model=congest_model(n, enforce=False)
         )
     else:
-        engine = spec.param("engine")
+        engine = spec.engine or "indexed"
         result = run_clique_two_spanner(graph, seed=spec.param("run_seed"), engine=engine)
         check(
             result.rounds <= _C_LOG * math.log2(n),
@@ -133,7 +139,7 @@ def _run_e17(spec: ScenarioSpec) -> dict[str, Any]:
     return {
         "n": n,
         "m": graph.number_of_edges(),
-        "model": variant if variant == "congest" else f"clique ({spec.param('engine')})",
+        "model": variant if variant == "congest" else f"clique ({spec.engine or 'indexed'})",
         "instance": spec.param("instance"),
         "variant": variant,
         "rounds": result.rounds,
@@ -199,5 +205,109 @@ register(
         ],
         run_scenario=_run_e17,
         verify=_verify_e17,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# E18 — batch-engine scale sweep: flood-max broadcast traffic at n >= 20000
+# --------------------------------------------------------------------------
+
+_E18_ROUNDS = 10
+_E18_SEED = 3
+_E18_GRAPHS = {
+    # name -> (family tuple); p chosen for average degree ~10, and the
+    # family's connect=True patch guarantees flood-max converges.
+    "n=20000": ("sparse_connected_gnp", 20000, 0.0005, 18),
+    "n=50000": ("sparse_connected_gnp", 50000, 0.0002, 19),
+}
+
+
+def _run_e18(spec: ScenarioSpec) -> dict[str, Any]:
+    graph = build_graph(spec.param("graph"))
+    n = graph.number_of_nodes()
+    engine = spec.engine or "indexed"
+    rounds = spec.param("rounds")
+    start = time.perf_counter()
+    result = run_flood_max(graph, rounds=rounds, seed=spec.param("run_seed"), engine=engine)
+    elapsed = time.perf_counter() - start
+    check(
+        result.converged,
+        f"{spec.name}: flood-max did not converge within {rounds} rounds",
+    )
+    check(
+        result.leader == n - 1,
+        f"{spec.name}: elected leader {result.leader!r}, expected the max label {n - 1}",
+    )
+    check(
+        result.rounds == rounds,
+        f"{spec.name}: used {result.rounds} rounds, the program budget is {rounds}",
+    )
+    messages = result.metrics.messages_sent
+    return {
+        "engine": engine,
+        "n": n,
+        "m": graph.number_of_edges(),
+        "rounds": result.rounds,
+        "leader": result.leader,
+        "metrics": result.metrics,
+        "timing": {
+            "elapsed_s": elapsed,
+            "messages_per_sec": messages / elapsed,
+        },
+    }
+
+
+def _verify_e18(results) -> dict[str, Any]:
+    batch20, indexed20, batch50 = results
+    # Identical physics for batch vs indexed at n=20000; the batch-vs-indexed
+    # throughput floor is asserted by the benchmark wrapper (E18_MIN_SPEEDUP),
+    # not here, so CLI sweeps stay noise-proof.
+    for key in batch20:
+        if key.startswith("timing.") or key == "engine":
+            continue
+        check(
+            batch20[key] == indexed20[key],
+            f"n=20000: engines disagree on {key}: {batch20[key]!r} != {indexed20[key]!r}",
+        )
+    check(batch50["n"] >= 20000, "the scale scenario must cover n >= 20000")
+    return {
+        "n=20000.messages": batch20["metrics.messages_sent"],
+        "n=50000.messages": batch50["metrics.messages_sent"],
+        "n=50000.leader": batch50["leader"],
+    }
+
+
+register(
+    Experiment(
+        id="E18",
+        title="batch-engine scale sweep: flood-max broadcast up to n=50000",
+        headline="struct-of-arrays batch engine vs indexed on pure-broadcast traffic",
+        columns=(
+            ("n", "n", None),
+            ("m", "m", None),
+            ("engine", "engine", None),
+            ("rounds", "rounds", None),
+            ("messages", "metrics.messages_sent", None),
+            ("seconds", "timing.elapsed_s", ".3f"),
+            ("msg/sec", "timing.messages_per_sec", ".0f"),
+        ),
+        scenarios=[
+            ScenarioSpec.make(
+                "E18",
+                f"{instance} {engine}",
+                engine=engine,
+                graph=_E18_GRAPHS[instance],
+                rounds=_E18_ROUNDS,
+                run_seed=_E18_SEED,
+            )
+            for instance, engine in [
+                ("n=20000", "batch"),
+                ("n=20000", "indexed"),
+                ("n=50000", "batch"),
+            ]
+        ],
+        run_scenario=_run_e18,
+        verify=_verify_e18,
     )
 )

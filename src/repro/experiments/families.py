@@ -27,6 +27,7 @@ from repro.graphs import (
     path_graph,
     random_digraph,
     random_tournament,
+    sparse_gnp_graph,
 )
 
 FAMILIES: dict[str, Callable[..., Any]] = {
@@ -40,6 +41,11 @@ FAMILIES: dict[str, Callable[..., Any]] = {
         stars, leaves, overlap, seed=seed
     ),
     "barabasi_albert": lambda n, m, seed: barabasi_albert_graph(n, m, seed=seed),
+    # O(n + m) geometric-skip sampler, connectivity-patched: the only G(n, p)
+    # family usable at the E18 scale tier (n in the tens of thousands).
+    "sparse_connected_gnp": lambda n, p, seed: sparse_gnp_graph(
+        n, p, seed=seed, connect=True
+    ),
     "grid": grid_graph,
     "path": path_graph,
     "cycle": cycle_graph,

@@ -1,6 +1,6 @@
 """The experiment registry: declarative scenario lists plus runner hooks.
 
-Every experiment (E01-E17) registers one :class:`Experiment` object mapping
+Every experiment (E01-E18) registers one :class:`Experiment` object mapping
 its id to
 
 * ``scenarios`` — the declarative :class:`~repro.experiments.spec.ScenarioSpec`
@@ -58,6 +58,7 @@ _LOADED = False
 
 
 def register(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the registry, validating id/scenario uniqueness."""
     if experiment.id in _REGISTRY:
         raise ValueError(f"experiment {experiment.id} registered twice")
     names = [spec.name for spec in experiment.scenarios]
@@ -92,11 +93,13 @@ def load_all() -> None:
 
 
 def experiment_ids() -> list[str]:
+    """Sorted ids of every registered experiment (loads definitions)."""
     load_all()
     return sorted(_REGISTRY)
 
 
 def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by (case-insensitive) id; raises ``KeyError``."""
     load_all()
     key = experiment_id.upper()
     if key not in _REGISTRY:

@@ -17,6 +17,7 @@ from typing import Any
 
 
 def fmt(value: float, digits: int = 3) -> str:
+    """Fixed-point formatting shared by the reproduced tables."""
     return f"{value:.{digits}f}"
 
 

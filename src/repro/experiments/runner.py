@@ -66,6 +66,7 @@ class ResultCache:
         return self.directory / f"{spec.spec_hash()}.json"
 
     def get(self, spec: ScenarioSpec) -> dict[str, Any] | None:
+        """The cached result for ``spec``, or ``None`` (missing/corrupt/stale)."""
         path = self._path(spec)
         if not path.exists():
             return None
@@ -82,6 +83,7 @@ class ResultCache:
         return result if isinstance(result, dict) else None
 
     def put(self, spec: ScenarioSpec, result: dict[str, Any]) -> None:
+        """Store ``result`` for ``spec`` (schema-stamped, exact-spec keyed)."""
         payload = {"schema": SCHEMA, "spec": spec.as_dict(), "result": result}
         self._path(spec).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
@@ -114,8 +116,18 @@ def run_scenarios(
     specs: list[ScenarioSpec],
     jobs: int = 1,
     cache: ResultCache | None = None,
+    engine: str | None = None,
 ) -> list[ScenarioOutcome]:
-    """Run ``specs`` (sharded over ``jobs`` workers) and merge in spec order."""
+    """Run ``specs`` (sharded over ``jobs`` workers) and merge in spec order.
+
+    ``engine`` pins every spec to one simulator engine via
+    :meth:`~repro.experiments.spec.ScenarioSpec.with_engine` before
+    execution — the override is part of the spec that runs, so it shows up
+    in the report's ``spec`` blocks and in the cache keys.  Scenarios whose
+    runner is not engine-aware ignore the field.
+    """
+    if engine is not None:
+        specs = [spec.with_engine(engine) for spec in specs]
     outcomes: dict[int, ScenarioOutcome] = {}
     pending: list[tuple[int, ScenarioSpec]] = []
     for index, spec in enumerate(specs):
@@ -145,17 +157,19 @@ def run_experiments(
     experiment_ids: list[str],
     jobs: int = 1,
     cache: ResultCache | None = None,
+    engine: str | None = None,
 ) -> dict[str, Any]:
     """Run whole experiments and assemble the stable JSON report.
 
     The scenario lists of all requested experiments are concatenated and
     sharded together (so a slow experiment's scenarios interleave with fast
     ones), then regrouped per experiment for the cross-scenario ``verify``
-    hooks and the report.
+    hooks and the report.  ``engine`` (CLI ``run --engine``) pins every
+    scenario to one simulator engine; see :func:`run_scenarios`.
     """
     experiments = [registry.get_experiment(identifier) for identifier in experiment_ids]
     all_specs = [spec for experiment in experiments for spec in experiment.scenarios]
-    outcomes = run_scenarios(all_specs, jobs=jobs, cache=cache)
+    outcomes = run_scenarios(all_specs, jobs=jobs, cache=cache, engine=engine)
 
     report: dict[str, Any] = {"schema": SCHEMA, "experiments": []}
     cursor = 0

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 _PRIMITIVES = (type(None), bool, int, float, str)
@@ -42,33 +42,54 @@ def _jsonable(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One scenario: an experiment id, a unique name, and frozen parameters."""
+    """One scenario: an experiment id, a unique name, and frozen parameters.
+
+    ``engine`` is the one first-class (non-``params``) knob: which simulator
+    engine (``"reference"`` / ``"indexed"`` / ``"batch"``) an engine-aware
+    scenario runs on.  ``None`` means "the experiment's default" and is
+    omitted from the canonical JSON, so specs predating the field keep their
+    hashes; a concrete engine *is* part of the spec contents and therefore
+    of ``spec_hash()`` (an override must never alias a cached result
+    computed under a different engine).
+    """
 
     experiment: str
     name: str
     params: tuple[tuple[str, Any], ...] = ()
+    engine: str | None = None
 
     @classmethod
-    def make(cls, experiment: str, name: str, **params: Any) -> "ScenarioSpec":
+    def make(
+        cls, experiment: str, name: str, engine: str | None = None, **params: Any
+    ) -> "ScenarioSpec":
         """Build a spec, canonicalising ``params`` (sorted keys, frozen values)."""
         frozen = tuple(sorted((key, _freeze(value)) for key, value in params.items()))
-        return cls(experiment=experiment, name=name, params=frozen)
+        return cls(experiment=experiment, name=name, params=frozen, engine=engine)
 
     def param(self, key: str, default: Any = None) -> Any:
+        """The frozen value of parameter ``key``, or ``default`` if absent."""
         for name, value in self.params:
             if name == key:
                 return value
         return default
 
+    def with_engine(self, engine: str | None) -> "ScenarioSpec":
+        """A copy of this spec pinned to ``engine`` (used by ``run --engine``)."""
+        return replace(self, engine=engine)
+
     def as_dict(self) -> dict[str, Any]:
-        """JSON-able view: ``{"experiment", "name", "params": {...}}``."""
-        return {
+        """JSON-able view: ``{"experiment", "name", "params": {...}[, "engine"]}``."""
+        out: dict[str, Any] = {
             "experiment": self.experiment,
             "name": self.name,
             "params": {key: _jsonable(value) for key, value in self.params},
         }
+        if self.engine is not None:
+            out["engine"] = self.engine
+        return out
 
     def canonical_json(self) -> str:
+        """Canonical serialisation (sorted keys, no whitespace) — the hash input."""
         return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:

@@ -1,0 +1,262 @@
+"""Differential and admission tests for the batch simulator engine.
+
+The batch engine must be bit-for-bit identical to the indexed engine (and
+hence to the reference oracle) on fixed seeds for broadcast-only programs,
+across all four communication models, including cut accounting, per-model
+counters and bandwidth-violation counting; targeted traffic must be
+rejected with a clear error instead of silently falling back to the general
+path.
+"""
+
+import pytest
+
+from repro.core import run_clique_two_spanner, run_flood_max
+from repro.core.flood_max import FloodMaxProgram
+from repro.distributed import (
+    BandwidthExceededError,
+    BroadcastNodeProgram,
+    ENGINES,
+    FunctionProgram,
+    MessageAdmissionError,
+    NodeProgram,
+    Simulator,
+    broadcast_congest_model,
+    congest_model,
+    congested_clique_model,
+    local_model,
+    run_program,
+)
+from repro.graphs import Graph, gnp_random_graph, path_graph, star_graph
+
+ALL_MODELS = [
+    lambda n: local_model(n),
+    lambda n: congest_model(n, enforce=False),
+    lambda n: broadcast_congest_model(n, enforce=False),
+    lambda n: congested_clique_model(n, enforce=False),
+]
+
+
+class EchoOnce(BroadcastNodeProgram):
+    """Broadcast one payload at start, record the senders heard, halt."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def on_start(self, ctx):
+        ctx.broadcast(self.payload)
+
+    def on_broadcast_round(self, ctx, heard):
+        ctx.set_output(sorted(heard, key=repr))
+        ctx.halt()
+
+
+def _run_all_engines(graph, factory, model, seed=1, cut=None):
+    return {
+        engine: Simulator(
+            graph, factory, model=model, seed=seed, cut=cut, engine=engine
+        ).run()
+        for engine in ("indexed", "batch", "reference")
+    }
+
+
+class TestBatchDifferential:
+    """Bit-for-bit identity with the indexed engine, all four models."""
+
+    @pytest.mark.parametrize("model_factory", ALL_MODELS)
+    def test_flood_max_identical_across_engines(self, model_factory):
+        g = gnp_random_graph(40, 0.15, seed=5)
+        runs = _run_all_engines(
+            g, lambda v: FloodMaxProgram(v, 5), model_factory(40), seed=9
+        )
+        indexed, batch, reference = (
+            runs["indexed"],
+            runs["batch"],
+            runs["reference"],
+        )
+        assert batch.outputs == indexed.outputs == reference.outputs
+        assert (
+            batch.metrics.as_dict()
+            == indexed.metrics.as_dict()
+            == reference.metrics.as_dict()
+        )
+        assert batch.metrics.bits_per_round == indexed.metrics.bits_per_round
+        assert batch.completed is indexed.completed is True
+
+    @pytest.mark.parametrize("model_factory", ALL_MODELS)
+    def test_echo_program_identical_across_engines(self, model_factory):
+        g = gnp_random_graph(25, 0.3, seed=2)
+        runs = _run_all_engines(g, lambda v: EchoOnce(("x", 7)), model_factory(25))
+        assert runs["batch"].outputs == runs["indexed"].outputs
+        assert runs["batch"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
+
+    def test_cut_accounting_identical(self):
+        g = gnp_random_graph(30, 0.25, seed=4)
+        cut = set(range(15))
+        runs = _run_all_engines(
+            g, lambda v: FloodMaxProgram(v, 4), congest_model(30, enforce=False),
+            cut=cut,
+        )
+        batch, indexed = runs["batch"].metrics, runs["indexed"].metrics
+        assert batch.cut_bits == indexed.cut_bits > 0
+        assert batch.cut_messages == indexed.cut_messages
+        assert batch.as_dict() == indexed.as_dict()
+
+    def test_violation_counting_identical(self):
+        # Oversized payload under enforce=False: violations counted per link.
+        big = tuple(range(500))
+
+        def on_start(ctx):
+            ctx.broadcast(big)
+            ctx.set_output(True)
+            ctx.halt()
+
+        g = gnp_random_graph(12, 0.4, seed=8)
+        runs = _run_all_engines(
+            g,
+            lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+            congest_model(12, enforce=False),
+        )
+        assert runs["batch"].metrics.bandwidth_violations > 0
+        assert (
+            runs["batch"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
+        )
+
+    def test_clique_spanner_runs_under_batch(self):
+        # The Parter-Yogev clique 2-spanner is pure broadcast: the batch
+        # engine must reproduce the indexed engine's spanner exactly.
+        g = gnp_random_graph(48, 0.2, seed=3)
+        batch = run_clique_two_spanner(g, seed=2, engine="batch")
+        indexed = run_clique_two_spanner(g, seed=2, engine="indexed")
+        assert batch.edges == indexed.edges
+        assert batch.rounds == indexed.rounds
+        assert batch.metrics.as_dict() == indexed.metrics.as_dict()
+
+    def test_early_halters_stop_receiving_but_traffic_is_counted(self):
+        # The centre halts after round 1; leaf broadcasts keep being counted
+        # (metrics) but no longer delivered — identical across engines.
+        class Impatient(NodeProgram):
+            def __init__(self, v):
+                self.v = v
+
+            def on_start(self, ctx):
+                ctx.broadcast(("hi", self.v))
+
+            def on_round(self, ctx, inbox):
+                if self.v == 0 or ctx.round >= 3:
+                    ctx.set_output(sorted(inbox, key=repr))
+                    ctx.halt()
+                else:
+                    ctx.broadcast(("again", self.v))
+
+        g = star_graph(6)
+        runs = _run_all_engines(g, lambda v: Impatient(v), local_model(7), seed=0)
+        assert runs["batch"].outputs == runs["indexed"].outputs
+        assert runs["batch"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
+
+    def test_degree_zero_broadcast_is_a_no_op(self):
+        g = Graph()
+        g.add_node("lonely")
+
+        def on_start(ctx):
+            ctx.broadcast("into the void")
+            ctx.set_output("done")
+            ctx.halt()
+
+        for engine in ("indexed", "batch"):
+            result = run_program(
+                g,
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=broadcast_congest_model(1),
+                engine=engine,
+            )
+            assert result.metrics.messages_sent == 0
+            assert result.metrics.as_dict().get("broadcast_payloads", 0) == 0
+
+
+class TestBatchAdmission:
+    """Targeted traffic is rejected loudly — never silently downgraded."""
+
+    def test_targeted_send_raises_clear_error(self):
+        # CONGEST admits targeted sends, but the batch engine does not:
+        # requesting batch for a targeted-send program must raise, not fall
+        # back to the indexed path.
+        def on_start(ctx):
+            ctx.send(next(iter(ctx.neighbors)), 1)
+
+        with pytest.raises(MessageAdmissionError, match="batch engine"):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=congest_model(4),
+                engine="batch",
+            )
+
+    def test_targeted_send_raises_under_overlay_model_too(self):
+        def on_start(ctx):
+            ctx.send(next(iter(ctx.neighbors)), 1)
+
+        with pytest.raises(MessageAdmissionError, match="batch engine"):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=congested_clique_model(4),
+                engine="batch",
+            )
+
+    def test_second_broadcast_per_round_rejected(self):
+        def on_start(ctx):
+            ctx.broadcast(1)
+            ctx.broadcast(2)
+
+        # Legal under plain CONGEST on the indexed engine, but the batch
+        # engine interns exactly one payload per sender per round.
+        with pytest.raises(MessageAdmissionError, match="one"):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=congest_model(4),
+                engine="batch",
+            )
+
+    def test_enforced_bandwidth_violation_raises(self):
+        big = tuple(range(10_000))
+
+        def on_start(ctx):
+            ctx.broadcast(big)
+
+        with pytest.raises(BandwidthExceededError):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=congest_model(4, enforce=True),
+                engine="batch",
+            )
+
+    def test_unknown_engine_rejected_and_batch_registered(self):
+        assert "batch" in ENGINES
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator(path_graph(3), lambda v: FloodMaxProgram(v, 1), engine="bogus")
+
+
+class TestFloodMax:
+    """The E18 workload itself."""
+
+    @pytest.mark.parametrize("engine", ["indexed", "batch", "reference"])
+    def test_converges_to_max_label(self, engine):
+        g = gnp_random_graph(50, 0.2, seed=11)
+        result = run_flood_max(g, rounds=6, seed=1, engine=engine)
+        assert result.converged
+        assert result.leader == 49
+        assert result.rounds == 6
+
+    def test_insufficient_rounds_do_not_converge(self):
+        g = path_graph(30)  # diameter 29 >> 2 rounds
+        result = run_flood_max(g, rounds=2, seed=1, engine="batch")
+        assert not result.converged
+        assert result.leader is None
+
+    def test_zero_rounds_outputs_own_label(self):
+        g = path_graph(3)
+        result = run_flood_max(g, rounds=0, seed=1, engine="batch")
+        assert result.node_outputs == {0: 0, 1: 1, 2: 2}
+        assert result.metrics.messages_sent == 0

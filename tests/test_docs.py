@@ -1,0 +1,37 @@
+"""Documentation health checks: docstring coverage and markdown links.
+
+Runs the same checkers CI invokes (``tools/check_docstrings.py`` and
+``tools/check_docs_links.py``) so the documentation contract is enforced by
+tier-1, not just by a separate workflow step.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / "tools" / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_public_api_docstring_coverage():
+    check_docstrings = _load_tool("check_docstrings")
+    problems = check_docstrings.run()
+    assert not problems, "undocumented public API:\n" + "\n".join(problems)
+
+
+def test_docs_markdown_links_resolve():
+    check_docs_links = _load_tool("check_docs_links")
+    problems = check_docs_links.run(REPO_ROOT)
+    assert not problems, "broken documentation links:\n" + "\n".join(problems)
+
+
+def test_docs_pages_exist():
+    # The README links into these; keep the docs suite from silently
+    # regressing to a single page.
+    for page in ("architecture.md", "performance.md", "experiments.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"

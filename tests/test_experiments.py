@@ -32,8 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestRegistry:
-    def test_all_seventeen_experiments_registered(self):
-        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 18)]
+    def test_all_eighteen_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 19)]
 
     def test_every_experiment_has_scenarios_and_columns(self):
         for identifier in experiment_ids():
@@ -90,6 +90,50 @@ class TestScenarioSpec:
         assert spec.param("k") == 3
         assert spec.param("weights") == (1.0, 2.0)
         assert spec.param("missing", 7) == 7
+
+
+class TestEngineSelection:
+    """The first-class ``engine`` field and its override plumbing."""
+
+    def test_engine_round_trips(self):
+        spec = ScenarioSpec.make("EXX", "s", engine="batch", seed=1)
+        assert spec.engine == "batch"
+        assert spec.as_dict()["engine"] == "batch"
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and clone.engine == "batch"
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_default_engine_omitted_from_canonical_json(self):
+        # Specs predating the field keep their hashes: None never serialises.
+        spec = ScenarioSpec.make("EXX", "s", seed=1)
+        assert spec.engine is None
+        assert "engine" not in spec.as_dict()
+        assert "engine" not in spec.canonical_json()
+
+    def test_engine_changes_spec_hash(self):
+        base = ScenarioSpec.make("EXX", "s", seed=1)
+        assert base.with_engine("batch").spec_hash() != base.spec_hash()
+        assert base.with_engine("batch") != base.with_engine("indexed")
+        assert base.with_engine(None) == base
+
+    def test_runner_engine_override_reaches_report(self):
+        report = run_experiments(["E17"], jobs=1, engine="batch")
+        scenarios = report["experiments"][0]["scenarios"]
+        assert scenarios, "E17 has scenarios"
+        for scenario in scenarios:
+            assert scenario["spec"]["engine"] == "batch"
+
+    def test_batch_override_on_targeted_send_experiment_raises(self):
+        # E16's two-spanner sends targeted messages; pinning it to the batch
+        # engine must raise the admission error, not silently fall back.
+        from repro.distributed import MessageAdmissionError
+
+        with pytest.raises(MessageAdmissionError, match="batch engine"):
+            run_experiments(["E16"], jobs=1, engine="batch")
+
+    def test_e18_specs_carry_engines(self):
+        engines = [spec.engine for spec in get_experiment("E18").scenarios]
+        assert engines == ["batch", "indexed", "batch"]
 
 
 class TestFamilies:
@@ -211,3 +255,19 @@ class TestCLI:
     def test_run_requires_ids_or_all(self):
         proc = self._run("run")
         assert proc.returncode != 0
+
+    def test_run_engine_batch_works(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run(
+            "run", "E17", "--engine", "batch", "--jobs", "1",
+            "--json", str(out), "--no-tables", "--strip-timing",
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        for scenario in report["experiments"][0]["scenarios"]:
+            assert scenario["spec"]["engine"] == "batch"
+
+    def test_run_engine_rejects_unknown(self):
+        proc = self._run("run", "E17", "--engine", "warp")
+        assert proc.returncode != 0
+        assert "invalid choice" in proc.stderr

@@ -1,0 +1,69 @@
+"""Markdown link checker for the repo's documentation.
+
+Scans the markdown files at the repository root and under ``docs/`` for
+inline links and verifies that every *relative* link target resolves to an
+existing file or directory (fragments are stripped; ``http(s)``/``mailto``
+targets are skipped — CI must not depend on the network).  Exits non-zero
+listing every broken link — wired into CI and into ``tests/test_docs.py``.
+
+Usage::
+
+    python tools/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: ``[text](target)``, ignoring images' leading ``!``.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files(root: Path):
+    """Yield the markdown files the checker audits (root level and docs/)."""
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one problem line per broken relative link in ``path``."""
+    problems = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return problems
+
+
+def run(root: Path) -> list[str]:
+    """Audit every doc file under ``root`` and return the broken links."""
+    problems: list[str] = []
+    for path in iter_doc_files(root):
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print broken links, return non-zero if any exist."""
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    problems = run(root)
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"\n{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    checked = len(list(iter_doc_files(root)))
+    print(f"docs links OK ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,102 @@
+"""Docstring-coverage check for the public API of selected packages.
+
+Imports every module of the audited packages and verifies that
+
+* the module itself,
+* every public class defined in it, and
+* every public function / method / property defined in it (names not
+  starting with ``_``; dunders exempt)
+
+carry a docstring.  Inherited docstrings count (``inspect.getdoc`` walks the
+MRO), so an override of a documented base method does not need to repeat the
+prose.  Exits non-zero listing every undocumented object — wired into CI and
+into ``tests/test_docs.py`` so the check also runs under tier-1.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docstrings.py [package ...]
+
+Defaults to the packages named in :data:`DEFAULT_PACKAGES`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+
+#: The packages whose public API must be fully documented.
+DEFAULT_PACKAGES = ("repro.distributed", "repro.experiments")
+
+
+def _iter_modules(package_name: str):
+    """Yield the package module and every submodule, imported."""
+    package = importlib.import_module(package_name)
+    yield package
+    for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+        yield importlib.import_module(info.name)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_callable(owner: str, name: str, obj, problems: list[str]) -> None:
+    """Record ``owner.name`` if the function/property lacks a docstring."""
+    target = obj.fget if isinstance(obj, property) else obj
+    if target is None or inspect.getdoc(target) in (None, ""):
+        kind = "property" if isinstance(obj, property) else "function"
+        problems.append(f"{owner}.{name} ({kind}: missing docstring)")
+
+
+def audit_module(module, problems: list[str]) -> None:
+    """Append one problem line per undocumented public object in ``module``."""
+    mod_name = module.__name__
+    if not (module.__doc__ or "").strip():
+        problems.append(f"{mod_name} (module: missing docstring)")
+
+    for name, obj in vars(module).items():
+        if not _is_public(name):
+            continue
+        if inspect.isfunction(obj) and obj.__module__ == mod_name:
+            _check_callable(mod_name, name, obj, problems)
+        elif inspect.isclass(obj) and obj.__module__ == mod_name:
+            if inspect.getdoc(obj) in (None, ""):
+                problems.append(f"{mod_name}.{name} (class: missing docstring)")
+            for attr, member in vars(obj).items():
+                if not _is_public(attr):
+                    continue
+                if isinstance(member, property) or inspect.isfunction(member):
+                    # getattr resolves classmethod/staticmethod wrappers and
+                    # lets inspect.getdoc fall back to base-class docstrings.
+                    bound = member if isinstance(member, property) else getattr(obj, attr)
+                    _check_callable(f"{mod_name}.{name}", attr, bound, problems)
+                elif isinstance(member, (classmethod, staticmethod)):
+                    _check_callable(f"{mod_name}.{name}", attr, member.__func__, problems)
+
+
+def run(packages=DEFAULT_PACKAGES) -> list[str]:
+    """Audit ``packages`` and return the list of problem descriptions."""
+    problems: list[str] = []
+    for package_name in packages:
+        for module in _iter_modules(package_name):
+            audit_module(module, problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print problems, return non-zero if any exist."""
+    packages = tuple(argv) if argv else DEFAULT_PACKAGES
+    problems = run(packages)
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"\n{len(problems)} undocumented public object(s)", file=sys.stderr)
+        return 1
+    print(f"docstring coverage OK for: {', '.join(packages)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
