@@ -11,7 +11,14 @@ from repro.core.directed_two_spanner import (
     DirectedTwoSpannerResult,
     run_directed_two_spanner,
 )
-from repro.core.flood_max import FloodMaxProgram, FloodMaxResult, run_flood_max
+from repro.core.flood_max import (
+    FloodMaxProgram,
+    FloodMaxResult,
+    RobustFloodMaxProgram,
+    robust_flood_max_round_bound,
+    run_flood_max,
+    run_robust_flood_max,
+)
 from repro.core.mds import MDSOptions, MDSResult, run_mds
 from repro.core.network_decomposition import (
     Decomposition,
@@ -50,6 +57,7 @@ __all__ = [
     "MDSResult",
     "NodeSetup",
     "OnePlusEpsResult",
+    "RobustFloodMaxProgram",
     "SpannerVariant",
     "StarSelectionState",
     "TwoSpannerOptions",
@@ -62,9 +70,11 @@ __all__ = [
     "clique_spanner_round_bound",
     "decomposition_round_bound",
     "network_decomposition",
-    "run_flood_max",
     "one_plus_eps_spanner",
     "radius_budget",
+    "robust_flood_max_round_bound",
+    "run_flood_max",
+    "run_robust_flood_max",
     "run_clique_two_spanner",
     "run_directed_two_spanner",
     "run_mds",

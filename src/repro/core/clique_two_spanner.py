@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.distributed.adversary import Adversary
 from repro.distributed.models import CommunicationModel, congested_clique_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, NodeProgram
@@ -163,18 +164,33 @@ def run_clique_two_spanner(
     model: CommunicationModel | None = None,
     max_rounds: int = 10_000,
     engine: str = "indexed",
+    adversary: Adversary | None = None,
 ) -> CliqueSpannerResult:
     """Run the Congested Clique 2-spanner and collect the union of outputs.
 
     ``model`` defaults to an enforcing
     :class:`~repro.distributed.models.CongestedCliqueModel`; the algorithm's
     messages are a constant number of words, so enforcement never trips.
+
+    The level schedule is round-driven, so an ``adversary`` dropping
+    messages never stalls the run, and coverage beliefs are *sound* under
+    loss — a vertex only marks an edge covered from attach announcements it
+    actually received, and the cleanup phase adds whatever still looks
+    uncovered — so the output stays a valid 2-spanner under pure message
+    loss, merely with more edges (E19 pins this).  Crash faults do break
+    validity for edges whose owning endpoint died; see the E19 survivor
+    check.
     """
     n = graph.number_of_nodes()
     model = model if model is not None else congested_clique_model(n)
 
     sim = Simulator(
-        graph, lambda v: CliqueTwoSpannerProgram(v), model=model, seed=seed, engine=engine
+        graph,
+        lambda v: CliqueTwoSpannerProgram(v),
+        model=model,
+        seed=seed,
+        engine=engine,
+        adversary=adversary,
     )
     run = sim.run(max_rounds=max_rounds)
 

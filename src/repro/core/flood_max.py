@@ -9,6 +9,11 @@ inside the O(log n)-bit broadcast-CONGEST budget, and every node broadcasts
 every round — which makes this the densest pure-broadcast traffic pattern
 the simulator can produce and therefore the E18 scale workload for the
 ``batch`` engine fast path.
+
+Two variants ship: the classic fixed-round-budget :class:`FloodMaxProgram`
+(assumes reliable links) and the retransmitting
+:class:`RobustFloodMaxProgram`, which provably terminates under arbitrary
+message loss and is the E19 robustness workload.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.distributed.adversary import Adversary
 from repro.distributed.models import CommunicationModel, broadcast_congest_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, Node, NodeProgram
@@ -81,19 +87,33 @@ def run_flood_max(
     seed: int | None = None,
     engine: str = "indexed",
     max_rounds: int = 10_000,
+    adversary: Adversary | None = None,
 ) -> FloodMaxResult:
     """Run flood-max and report whether the network agreed on one leader.
 
     ``model`` defaults to an enforcing broadcast-CONGEST policy (integer
     labels always fit the budget); ``engine`` selects the simulator engine —
-    the workload is pure broadcast, so all three engines accept it.
+    the workload is pure broadcast, so all three engines accept it.  An
+    ``adversary`` injects faults; the fixed round budget then may no longer
+    cover the effective diameter, so check ``converged`` (or use
+    :func:`run_robust_flood_max`, which retransmits until locally stable).
     """
     n = graph.number_of_nodes()
     model = model if model is not None else broadcast_congest_model(n)
     sim = Simulator(
-        graph, lambda v: FloodMaxProgram(v, rounds), model=model, seed=seed, engine=engine
+        graph,
+        lambda v: FloodMaxProgram(v, rounds),
+        model=model,
+        seed=seed,
+        engine=engine,
+        adversary=adversary,
     )
     run = sim.run(max_rounds=max_rounds)
+    return _summarise(run)
+
+
+def _summarise(run) -> FloodMaxResult:
+    """Fold a flood-max :class:`RunResult` into the leader/convergence record."""
     values = set(run.outputs.values())
     converged = len(values) == 1
     return FloodMaxResult(
@@ -105,4 +125,107 @@ def run_flood_max(
     )
 
 
-__all__ = ["FloodMaxProgram", "FloodMaxResult", "run_flood_max"]
+class RobustFloodMaxProgram(NodeProgram):
+    """Retransmitting flood-max: broadcast until locally stable for ``patience``.
+
+    The fixed-budget :class:`FloodMaxProgram` assumes reliable links: it
+    stops after exactly ``rounds`` rounds, so a single lost message can
+    leave a vertex behind forever.  This variant *retransmits* — every node
+    broadcasts its current best every round — and halts only after its best
+    has been stable for ``patience`` consecutive rounds.
+
+    Termination is unconditional (and therefore holds under any message
+    loss): a node's best value strictly increases at most ``n - 1`` times,
+    and between increases at most ``patience`` rounds can pass before the
+    node halts, so every node halts within ``n * patience + 1`` rounds
+    (:func:`robust_flood_max_round_bound`) — message loss only *removes*
+    increases and hence only speeds termination up.  Correctness degrades
+    gracefully instead: with reliable links and ``patience >=`` diameter the
+    elected leader is exact, and under i.i.d. link loss at rate ``p`` a
+    frontier link must fail ``patience`` consecutive times to stall the
+    wave — per-link failure probability ``p**patience``, so losses are
+    absorbed by modestly raising ``patience``.  The ``converged`` flag of
+    the result reports whether agreement was actually reached.
+    """
+
+    def __init__(self, node: Node, patience: int) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience!r}")
+        self.best = node
+        self.patience = patience
+        self.stable = 0
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Broadcast my own label (round-0 traffic, delivered in round 1)."""
+        ctx.broadcast(self.best)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        """Fold broadcasts into my maximum; halt after ``patience`` quiet rounds."""
+        best = self.best
+        for payloads in inbox.values():
+            for value in payloads:
+                if value > best:
+                    best = value
+        if best > self.best:
+            self.best = best
+            self.stable = 0
+        else:
+            self.stable += 1
+        if self.stable >= self.patience:
+            ctx.set_output(self.best)
+            ctx.halt()
+            return
+        ctx.broadcast(best)
+
+
+def robust_flood_max_round_bound(n: int, patience: int) -> int:
+    """Worst-case round count of :class:`RobustFloodMaxProgram`.
+
+    Every node halts within ``n * patience + 1`` rounds regardless of
+    message delivery: at most ``n - 1`` best-value increases, at most
+    ``patience`` rounds between an increase and the next increase or halt,
+    plus the round-0 start-up slack.
+    """
+    return n * patience + 1
+
+
+def run_robust_flood_max(
+    graph,
+    patience: int,
+    model: CommunicationModel | None = None,
+    seed: int | None = None,
+    engine: str = "indexed",
+    adversary: Adversary | None = None,
+    max_rounds: int | None = None,
+) -> FloodMaxResult:
+    """Run the retransmitting flood-max variant; terminates under any faults.
+
+    ``max_rounds`` defaults to :func:`robust_flood_max_round_bound` — the
+    provable worst case, so a fault-injected run can never trip the round
+    limit.  ``converged`` is False when any two nodes disagree *or* any node
+    has no output (e.g. it was crash-stopped before halting); callers that
+    tolerate crashes should inspect ``node_outputs`` for survivor agreement.
+    """
+    n = graph.number_of_nodes()
+    model = model if model is not None else broadcast_congest_model(n)
+    if max_rounds is None:
+        max_rounds = robust_flood_max_round_bound(n, patience)
+    sim = Simulator(
+        graph,
+        lambda v: RobustFloodMaxProgram(v, patience),
+        model=model,
+        seed=seed,
+        engine=engine,
+        adversary=adversary,
+    )
+    return _summarise(sim.run(max_rounds=max_rounds))
+
+
+__all__ = [
+    "FloodMaxProgram",
+    "FloodMaxResult",
+    "RobustFloodMaxProgram",
+    "robust_flood_max_round_bound",
+    "run_flood_max",
+    "run_robust_flood_max",
+]

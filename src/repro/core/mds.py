@@ -207,8 +207,13 @@ def run_mds(
     seed: int | None = None,
     model: CommunicationModel | None = None,
     max_rounds: int = 200_000,
+    adversary=None,
 ) -> MDSResult:
-    """Run the guaranteed O(log Delta) MDS algorithm (CONGEST model by default)."""
+    """Run the guaranteed O(log Delta) MDS algorithm (CONGEST model by default).
+
+    ``adversary`` forwards a fault policy to the simulator (the voting
+    rounds assume reliable delivery; meant for golden-stability checks).
+    """
     options = options if options is not None else MDSOptions()
     model = model if model is not None else congest_model(graph.number_of_nodes(), enforce=True)
 
@@ -217,7 +222,7 @@ def run_mds(
     def factory(v: Node) -> MDSProgram:
         return MDSProgram(v, topo.neighbor_label_set(topo.index[v]), options)
 
-    sim = Simulator(graph, factory, model=model, seed=seed)
+    sim = Simulator(graph, factory, model=model, seed=seed, adversary=adversary)
     run = sim.run(max_rounds=max_rounds)
     dominators = {v for v, out in run.outputs.items() if out and out.get("in_set")}
     iterations = max((out["iterations"] for out in run.outputs.values() if out), default=0)

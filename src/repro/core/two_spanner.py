@@ -439,6 +439,7 @@ def run_two_spanner(
     model: CommunicationModel | None = None,
     max_rounds: int = 200_000,
     engine: str = "indexed",
+    adversary=None,
 ) -> TwoSpannerResult:
     """Run the distributed 2-spanner algorithm on ``graph`` and collect the result.
 
@@ -447,6 +448,9 @@ def run_two_spanner(
     and ``iterations`` is the largest iteration index any vertex reached.
     ``engine`` selects the simulator engine (the throughput benchmark compares
     ``indexed`` against ``reference``); results are identical for a fixed seed.
+    ``adversary`` forwards a fault policy to the simulator; this algorithm's
+    handshake phases assume reliable delivery, so use it for golden-stability
+    checks (``NoAdversary``) rather than fault sweeps.
     """
     variant = variant if variant is not None else UnweightedVariant()
     options = options if options is not None else TwoSpannerOptions()
@@ -455,7 +459,9 @@ def run_two_spanner(
     def factory(v: Node) -> TwoSpannerProgram:
         return TwoSpannerProgram(v, variant.node_setup(graph, v), variant, options)
 
-    sim = Simulator(graph, factory, model=model, seed=seed, engine=engine)
+    sim = Simulator(
+        graph, factory, model=model, seed=seed, engine=engine, adversary=adversary
+    )
     run = sim.run(max_rounds=max_rounds)
 
     edges: set[Edge] = set()

@@ -1,5 +1,14 @@
 """Synchronous round simulator with pluggable communication models."""
 
+from repro.distributed.adversary import (
+    Adversary,
+    CrashAdversary,
+    DeliveryFilter,
+    DropAdversary,
+    NoAdversary,
+    RoundBudgetAdversary,
+    build_adversary,
+)
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import (
     BandwidthExceededError,
@@ -34,6 +43,7 @@ from repro.distributed.simulator import (
 
 __all__ = [
     "ENGINES",
+    "Adversary",
     "BandwidthExceededError",
     "BitsMemo",
     "BroadcastCongestModel",
@@ -41,20 +51,26 @@ __all__ = [
     "CommunicationModel",
     "CongestModel",
     "CongestedCliqueModel",
+    "CrashAdversary",
+    "DeliveryFilter",
+    "DropAdversary",
     "FunctionProgram",
     "LocalModel",
     "MessageAdmissionError",
     "Metrics",
     "Model",
     "ModelConfig",
+    "NoAdversary",
     "NodeContext",
     "NodeProgram",
     "NotANeighborError",
+    "RoundBudgetAdversary",
     "RoundLimitExceededError",
     "RunResult",
     "SimulationError",
     "Simulator",
     "broadcast_congest_model",
+    "build_adversary",
     "congest_budget_bits",
     "congest_model",
     "congest_overhead_report",

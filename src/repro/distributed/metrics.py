@@ -90,6 +90,13 @@ class Metrics:
     ``virtual_link_messages`` under the Congested Clique); it stays empty —
     and :meth:`as_dict` unchanged — under LOCAL / CONGEST, preserving the
     golden-run contract.
+
+    ``per_adversary`` holds fault counters owned by the adversary policy
+    (:mod:`repro.distributed.adversary`): ``adversary_dropped_messages``,
+    ``adversary_crashed_nodes`` and friends.  It follows the same pattern
+    as ``per_model`` — empty (and :meth:`as_dict` unchanged) for fault-free
+    runs, including runs with an explicit ``NoAdversary`` installed, so the
+    golden dictionaries never gain keys.
     """
 
     rounds: int = 0
@@ -101,6 +108,7 @@ class Metrics:
     cut_bits: int = 0
     bits_per_round: list[int] = field(default_factory=lambda: [0])
     per_model: dict[str, int] = field(default_factory=dict)
+    per_adversary: dict[str, int] = field(default_factory=dict)
 
     def record_message(self, bits: int, crosses_cut: bool) -> None:
         """Tally one delivered message of ``bits`` bits (reference engine)."""
@@ -121,14 +129,19 @@ class Metrics:
         """Increment a model-owned counter (created on first use)."""
         self.per_model[counter] = self.per_model.get(counter, 0) + amount
 
+    def bump_fault(self, counter: str, amount: int = 1) -> None:
+        """Increment an adversary-owned fault counter (created on first use)."""
+        self.per_adversary[counter] = self.per_adversary.get(counter, 0) + amount
+
     def as_dict(self) -> dict[str, int]:
         """All aggregate counters as a flat dictionary.
 
         Benchmarks and reports should consume this instead of poking
         individual attributes, so that adding a counter is a one-line change.
-        Model-owned counters are merged in after the core ones; a model
-        counter whose name shadows a core counter (e.g. ``rounds``) would
-        silently corrupt the report, so collisions raise instead.
+        Model-owned counters are merged in after the core ones, then the
+        adversary-owned fault counters; a policy counter whose name shadows
+        an earlier counter (e.g. ``rounds``) would silently corrupt the
+        report, so collisions raise instead.
         """
         out = {
             "rounds": self.rounds,
@@ -139,12 +152,16 @@ class Metrics:
             "cut_messages": self.cut_messages,
             "cut_bits": self.cut_bits,
         }
-        for key, value in self.per_model.items():
-            if key in out:
-                raise ValueError(
-                    f"per_model counter {key!r} collides with a core Metrics counter"
-                )
-            out[key] = value
+        for owner, counters in (
+            ("per_model", self.per_model),
+            ("per_adversary", self.per_adversary),
+        ):
+            for key, value in counters.items():
+                if key in out:
+                    raise ValueError(
+                        f"{owner} counter {key!r} collides with another Metrics counter"
+                    )
+                out[key] = value
         return out
 
     def summary(self) -> dict[str, int]:

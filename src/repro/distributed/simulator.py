@@ -41,6 +41,16 @@ Three engines share the public API and produce identical results:
 * ``reference`` — the original dict-of-dicts engine, kept as the
   differential-testing oracle and as the baseline the throughput benchmark
   (E16) measures speedups against.
+
+Fault injection composes orthogonally with both the models and the engines:
+an :class:`~repro.distributed.adversary.Adversary` policy may destroy
+admitted messages in flight (drops, throttling) or crash-stop nodes.  All
+three engines share one delivery-filter seam — the filter is consulted per
+message after send-side accounting and before inbox insertion, plus once
+per round before programs execute (crash schedules force-halt there) — so
+engine-to-engine bit-for-bit equality holds *under the same adversary*,
+and a ``None``/:class:`~repro.distributed.adversary.NoAdversary` adversary
+leaves every hot path untouched.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
 from typing import Any
 
+from repro.distributed.adversary import Adversary, DeliveryFilter
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
 from repro.distributed.metrics import LinkLedger, Metrics, flush_round_tally
@@ -123,6 +134,14 @@ class Simulator:
         produce identical outputs and metrics for a fixed seed; ``batch``
         additionally requires the program to communicate exclusively via
         ``ctx.broadcast`` and raises on targeted sends.
+    adversary:
+        Optional :class:`~repro.distributed.adversary.Adversary` fault
+        policy (drops, crash-stop schedules, throttling).  ``None`` or
+        :class:`~repro.distributed.adversary.NoAdversary` installs no
+        delivery filter at all — byte-for-byte the fault-free behaviour.
+        Fault decisions depend only on ``(round, src, dst)`` and the
+        simulator seed, so the engine-parity contract extends to faulty
+        runs: all engines agree bit-for-bit under the same adversary.
     """
 
     def __init__(
@@ -133,6 +152,7 @@ class Simulator:
         seed: int | None = None,
         cut: Iterable[Node] | None = None,
         engine: str = "indexed",
+        adversary: Adversary | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -142,7 +162,21 @@ class Simulator:
         self.seed = seed
         self.cut = set(cut) if cut is not None else None
         self.engine = engine
+        self.adversary = adversary
         self.topology = self.model.communication_topology(graph)
+
+    def _bind_adversary(self, metrics: Metrics) -> DeliveryFilter | None:
+        """Seed fault counters and build this run's delivery filter (or None).
+
+        The one place all three engines obtain their filter, so the
+        "no adversary == untouched hot path" rule can never diverge
+        between them.
+        """
+        adversary = self.adversary
+        if adversary is None or adversary.is_null:
+            return None
+        adversary.init_metrics(metrics)
+        return adversary.bind(self.seed, metrics)
 
     # --------------------------------------------------------------------- run
     def run(self, max_rounds: int = 10_000, raise_on_limit: bool = True) -> RunResult:
@@ -165,13 +199,17 @@ class Simulator:
         metrics: Metrics,
         max_rounds: int,
         raise_on_limit: bool,
+        filt: DeliveryFilter | None = None,
     ) -> list[int]:
         """The shared round loop of the list-indexed engines.
 
         Runs ``on_start`` on every program, then alternates program rounds
         with ``collect`` (which drains the queued traffic of the given
-        senders and returns sparse inboxes) until every node halts.  Returns
-        the final active set (empty iff the run completed).
+        senders and returns sparse inboxes) until every node halts.  An
+        active adversary filter sees each round begin before any program
+        executes (crash schedules force-halt contexts there, which the loop
+        then skips).  Returns the final active set (empty iff the run
+        completed).
         """
         n = len(contexts)
         for i in range(n):
@@ -189,8 +227,12 @@ class Simulator:
                 break
             metrics.start_round()
             current_round = metrics.rounds
+            if filt is not None:
+                filt.on_round_begin(current_round, (contexts[i] for i in active))
             for i in active:
                 ctx = contexts[i]
+                if ctx.halted:
+                    continue  # crash-stopped at the top of this round
                 ctx.round = current_round
                 inbox = pending[i]
                 programs[i].on_round(ctx, inbox if inbox is not None else {})
@@ -250,6 +292,7 @@ class Simulator:
 
         metrics = Metrics()
         model.init_metrics(metrics)
+        filt = self._bind_adversary(metrics)
         memo = BitsMemo()
         budget = model.bandwidth_bits
         # Per-link running totals, indexed by CSR arc position, zeroed in
@@ -258,10 +301,12 @@ class Simulator:
 
         def collect(sender_ids: Iterable[int]) -> list[dict[Node, list[Any]] | None]:
             return self._collect_indexed(
-                contexts, sender_ids, metrics, memo, budget, ledger, graph_sets
+                contexts, sender_ids, metrics, memo, budget, ledger, graph_sets, filt
             )
 
-        active = self._drive(contexts, programs, collect, metrics, max_rounds, raise_on_limit)
+        active = self._drive(
+            contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
+        )
         outputs = {labels[i]: contexts[i].output for i in range(n)}
         return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
@@ -274,6 +319,7 @@ class Simulator:
         budget: int | None,
         ledger: LinkLedger | None,
         graph_sets: list[frozenset[Node]] | None,
+        filt: DeliveryFilter | None,
     ) -> list[dict[Node, list[Any]] | None]:
         """Drain outboxes, apply bandwidth accounting and build sparse inboxes."""
         topo = self.topology
@@ -338,6 +384,12 @@ class Simulator:
                                 f"{link_bits[pos]} bits, budget is {budget} "
                                 f"({self.model.name})"
                             )
+                # Adversary seam: the sender has been fully charged by now;
+                # a destroyed message only skips inbox insertion.  Checked
+                # before receiver liveness in every engine, so fault
+                # counters agree engine-to-engine.
+                if filt is not None and not filt.deliver(src, dst, bits):
+                    continue
                 if contexts[dst_i].halted:
                     continue
                 box = inboxes[dst_i]
@@ -389,6 +441,7 @@ class Simulator:
 
         metrics = Metrics()
         model.init_metrics(metrics)
+        filt = self._bind_adversary(metrics)
         budget = model.bandwidth_bits
         enforce = model.enforce
         indptr, indices = topo.indptr, topo.indices
@@ -486,19 +539,36 @@ class Simulator:
                 # One payload list shared by every receiver (read-only inbox
                 # contract; saves an allocation per delivered message).
                 plist = [payload]
-                for dst_i in nbrs:
-                    if halted[dst_i]:
-                        continue
-                    box = inboxes[dst_i]
-                    if box is None:
-                        inboxes[dst_i] = {src: plist}
-                    else:
-                        box[src] = plist
+                if filt is None:
+                    for dst_i in nbrs:
+                        if halted[dst_i]:
+                            continue
+                        box = inboxes[dst_i]
+                        if box is None:
+                            inboxes[dst_i] = {src: plist}
+                        else:
+                            box[src] = plist
+                else:
+                    # Adversary seam, branched outside the hot loop so the
+                    # fault-free fast path pays nothing.  Filter before the
+                    # liveness check, exactly as the indexed engine does.
+                    for dst_i in nbrs:
+                        if not filt.deliver(src, labels[dst_i], bits):
+                            continue
+                        if halted[dst_i]:
+                            continue
+                        box = inboxes[dst_i]
+                        if box is None:
+                            inboxes[dst_i] = {src: plist}
+                        else:
+                            box[src] = plist
 
             flush()
             return inboxes
 
-        active = self._drive(contexts, programs, collect, metrics, max_rounds, raise_on_limit)
+        active = self._drive(
+            contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
+        )
         outputs = {labels[i]: contexts[i].output for i in range(n)}
         return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
@@ -535,10 +605,11 @@ class Simulator:
 
         metrics = Metrics()
         model.init_metrics(metrics)
+        filt = self._bind_adversary(metrics)
         for v in nodes:
             programs[v].on_start(contexts[v])
 
-        pending = self._collect_messages(contexts, metrics, graph_neighbors)
+        pending = self._collect_messages(contexts, metrics, graph_neighbors, filt)
         completed = all(ctx.halted for ctx in contexts.values())
 
         while not completed:
@@ -549,6 +620,11 @@ class Simulator:
                     )
                 break
             metrics.start_round()
+            if filt is not None:
+                filt.on_round_begin(
+                    metrics.rounds,
+                    (ctx for ctx in contexts.values() if not ctx.halted),
+                )
             for v in nodes:
                 ctx = contexts[v]
                 if ctx.halted:
@@ -556,7 +632,7 @@ class Simulator:
                 ctx.round = metrics.rounds
                 inbox = pending.get(v, {})
                 programs[v].on_round(ctx, inbox)
-            pending = self._collect_messages(contexts, metrics, graph_neighbors)
+            pending = self._collect_messages(contexts, metrics, graph_neighbors, filt)
             completed = all(ctx.halted for ctx in contexts.values())
 
         outputs = {v: contexts[v].output for v in nodes}
@@ -567,6 +643,7 @@ class Simulator:
         contexts: dict[Node, NodeContext],
         metrics: Metrics,
         graph_neighbors: dict[Node, frozenset[Node]] | None = None,
+        filt: DeliveryFilter | None = None,
     ) -> dict[Node, dict[Node, list[Any]]]:
         """Reference-engine collection: per-link dicts rebuilt every round."""
         inboxes: dict[Node, dict[Node, list[Any]]] = {}
@@ -596,6 +673,8 @@ class Simulator:
                                 f"{per_link_bits[link]} bits, budget is {budget} "
                                 f"({self.model.name})"
                             )
+                if filt is not None and not filt.deliver(src, dst, bits):
+                    continue
                 if contexts[dst].halted:
                     continue
                 inboxes.setdefault(dst, {}).setdefault(src, []).append(payload)
@@ -610,9 +689,18 @@ def run_program(
     max_rounds: int = 10_000,
     cut: Iterable[Node] | None = None,
     engine: str = "indexed",
+    adversary: Adversary | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
-    sim = Simulator(graph, program_factory, model=model, seed=seed, cut=cut, engine=engine)
+    sim = Simulator(
+        graph,
+        program_factory,
+        model=model,
+        seed=seed,
+        cut=cut,
+        engine=engine,
+        adversary=adversary,
+    )
     return sim.run(max_rounds=max_rounds)
 
 

@@ -2,13 +2,18 @@
 
 Subcommands::
 
-    list                          show every registered experiment + scenarios
+    list [--json]                 show every registered experiment + scenarios
+                                  (--json: machine-readable ids, scenario
+                                  counts and spec hashes for tooling/CI)
     run E01 E16 E18 [--all]       run experiments (sharded over --jobs workers)
         --jobs N                  worker processes (default 1)
         --json PATH               write the stable JSON report
         --cache DIR               on-disk result cache keyed by spec hash
         --engine NAME             pin engine-aware scenarios to one simulator
                                   engine (reference / indexed / batch)
+        --adversary SPEC          pin adversary-aware scenarios to one fault
+                                  policy (none / drop:RATE / crash:N@R,... /
+                                  budget:BITS)
         --strip-timing            drop wall-time fields from the JSON so
                                   repeated runs are byte-identical
         --no-tables               suppress the reproduced tables
@@ -25,14 +30,36 @@ import sys
 import time
 from typing import Any
 
+from repro.distributed.adversary import build_adversary
 from repro.distributed.simulator import ENGINES
 from repro.experiments import registry
 from repro.experiments.registry import ExperimentCheckError
 from repro.experiments.reporting import experiment_table
-from repro.experiments.runner import ResultCache, run_experiments, strip_timing
+from repro.experiments.runner import SCHEMA, ResultCache, run_experiments, strip_timing
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        # Machine-readable listing for tooling/CI: ids, scenario counts and
+        # spec hashes are enough to detect registry drift without running
+        # anything.
+        entries = []
+        for identifier in registry.experiment_ids():
+            experiment = registry.get_experiment(identifier)
+            entries.append(
+                {
+                    "id": experiment.id,
+                    "title": experiment.title,
+                    "scenario_count": len(experiment.scenarios),
+                    "scenarios": [
+                        {"name": spec.name, "spec_hash": spec.spec_hash()}
+                        for spec in experiment.scenarios
+                    ],
+                }
+            )
+        json.dump({"schema": SCHEMA, "experiments": entries}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
     for identifier in registry.experiment_ids():
         experiment = registry.get_experiment(identifier)
         print(f"{experiment.id}  {experiment.title}")
@@ -52,11 +79,23 @@ def _resolve_ids(args: argparse.Namespace) -> list[str]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     identifiers = _resolve_ids(args)
+    if args.adversary is not None:
+        try:
+            # Validate (and canonicalise) the spec up front so a typo fails
+            # before any scenario runs, with the parser's message.
+            args.adversary = build_adversary(args.adversary).spec()
+        except ValueError as error:
+            print(f"run: {error}", file=sys.stderr)
+            return 2
     cache = ResultCache(args.cache) if args.cache else None
     started = time.perf_counter()
     try:
         report = run_experiments(
-            identifiers, jobs=args.jobs, cache=cache, engine=args.engine
+            identifiers,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            adversary=args.adversary,
         )
     except ExperimentCheckError as error:
         print(f"experiment check failed: {error}", file=sys.stderr)
@@ -107,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     lister = sub.add_parser("list", help="list registered experiments and scenarios")
+    lister.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable listing (experiment ids, scenario "
+        "counts, spec hashes) on stdout for tooling/CI consumption",
+    )
     lister.set_defaults(func=_cmd_list)
 
     runner = sub.add_parser("run", help="run experiments and emit the JSON report")
@@ -127,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin engine-aware scenarios to one simulator engine (the "
         "override becomes part of each spec, hence of its cache key); "
         "'batch' requires broadcast-only workloads and raises otherwise",
+    )
+    runner.add_argument(
+        "--adversary",
+        metavar="SPEC",
+        default=None,
+        help="pin adversary-aware scenarios to one fault policy "
+        "('none', 'drop:RATE[:SALT]', 'crash:NODE@ROUND[,...]', "
+        "'budget:BITS'; the override becomes part of each spec, hence of "
+        "its cache key)",
     )
     runner.add_argument(
         "--strip-timing",

@@ -33,7 +33,13 @@ from repro.experiments import registry
 from repro.experiments.reporting import flatten_info
 from repro.experiments.spec import ScenarioSpec
 
-SCHEMA = "repro-experiments/1"
+#: Report schema version.  Bumped to ``/2`` when spec blocks gained the
+#: optional ``adversary`` field and results gained ``metrics.adversary_*``
+#: fault counters.
+SCHEMA = "repro-experiments/2"
+
+#: filesystem-safe schema tag baked into every cache key (see ResultCache).
+_SCHEMA_TAG = SCHEMA.replace("/", "-")
 
 #: flattened result keys treated as timing (excluded from determinism checks)
 TIMING_PREFIX = "timing."
@@ -50,12 +56,15 @@ class ScenarioOutcome:
 class ResultCache:
     """On-disk result cache keyed by spec hash (one JSON file per scenario).
 
-    The key covers the *spec contents only* — not the code that executes it.
-    A hit skips ``run_scenario`` entirely (including its ``check()``
-    invariants), so after changing an algorithm, the accounting, or a
-    scenario runner, clear the cache directory (or point ``--cache``
-    somewhere fresh); entries written under a different report ``schema``
-    version are rejected automatically.
+    The key covers the *spec contents plus the report schema version* — not
+    the code that executes it.  A hit skips ``run_scenario`` entirely
+    (including its ``check()`` invariants), so after changing an algorithm,
+    the accounting, or a scenario runner, clear the cache directory (or
+    point ``--cache`` somewhere fresh).  The schema version is part of the
+    *filename*, so entries written under an older ``repro-experiments/*``
+    schema can never be replayed — they simply miss — and the stored
+    ``schema`` field is double-checked on read as a belt-and-braces guard
+    against renamed files.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -63,7 +72,7 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path(self, spec: ScenarioSpec) -> Path:
-        return self.directory / f"{spec.spec_hash()}.json"
+        return self.directory / f"{spec.spec_hash()}-{_SCHEMA_TAG}.json"
 
     def get(self, spec: ScenarioSpec) -> dict[str, Any] | None:
         """The cached result for ``spec``, or ``None`` (missing/corrupt/stale)."""
@@ -117,17 +126,23 @@ def run_scenarios(
     jobs: int = 1,
     cache: ResultCache | None = None,
     engine: str | None = None,
+    adversary: str | None = None,
 ) -> list[ScenarioOutcome]:
     """Run ``specs`` (sharded over ``jobs`` workers) and merge in spec order.
 
     ``engine`` pins every spec to one simulator engine via
     :meth:`~repro.experiments.spec.ScenarioSpec.with_engine` before
     execution — the override is part of the spec that runs, so it shows up
-    in the report's ``spec`` blocks and in the cache keys.  Scenarios whose
-    runner is not engine-aware ignore the field.
+    in the report's ``spec`` blocks and in the cache keys.  ``adversary``
+    does the same for the fault policy (a canonical string such as
+    ``"drop:0.05"``, resolved by adversary-aware runners through
+    :func:`repro.distributed.adversary.build_adversary`).  Scenarios whose
+    runner is not engine- or adversary-aware ignore the fields.
     """
     if engine is not None:
         specs = [spec.with_engine(engine) for spec in specs]
+    if adversary is not None:
+        specs = [spec.with_adversary(adversary) for spec in specs]
     outcomes: dict[int, ScenarioOutcome] = {}
     pending: list[tuple[int, ScenarioSpec]] = []
     for index, spec in enumerate(specs):
@@ -158,6 +173,7 @@ def run_experiments(
     jobs: int = 1,
     cache: ResultCache | None = None,
     engine: str | None = None,
+    adversary: str | None = None,
 ) -> dict[str, Any]:
     """Run whole experiments and assemble the stable JSON report.
 
@@ -165,11 +181,14 @@ def run_experiments(
     sharded together (so a slow experiment's scenarios interleave with fast
     ones), then regrouped per experiment for the cross-scenario ``verify``
     hooks and the report.  ``engine`` (CLI ``run --engine``) pins every
-    scenario to one simulator engine; see :func:`run_scenarios`.
+    scenario to one simulator engine and ``adversary`` (``run
+    --adversary``) to one fault policy; see :func:`run_scenarios`.
     """
     experiments = [registry.get_experiment(identifier) for identifier in experiment_ids]
     all_specs = [spec for experiment in experiments for spec in experiment.scenarios]
-    outcomes = run_scenarios(all_specs, jobs=jobs, cache=cache, engine=engine)
+    outcomes = run_scenarios(
+        all_specs, jobs=jobs, cache=cache, engine=engine, adversary=adversary
+    )
 
     report: dict[str, Any] = {"schema": SCHEMA, "experiments": []}
     cursor = 0

@@ -44,27 +44,42 @@ def _jsonable(value: Any) -> Any:
 class ScenarioSpec:
     """One scenario: an experiment id, a unique name, and frozen parameters.
 
-    ``engine`` is the one first-class (non-``params``) knob: which simulator
+    Two knobs are first-class (non-``params``): ``engine`` — which simulator
     engine (``"reference"`` / ``"indexed"`` / ``"batch"``) an engine-aware
-    scenario runs on.  ``None`` means "the experiment's default" and is
-    omitted from the canonical JSON, so specs predating the field keep their
-    hashes; a concrete engine *is* part of the spec contents and therefore
-    of ``spec_hash()`` (an override must never alias a cached result
-    computed under a different engine).
+    scenario runs on — and ``adversary`` — the canonical fault-policy
+    string (e.g. ``"drop:0.05"``) an adversary-aware scenario resolves via
+    :func:`repro.distributed.adversary.build_adversary`.  For both,
+    ``None`` means "the experiment's default" and is omitted from the
+    canonical JSON, so specs predating the fields keep their hashes; a
+    concrete value *is* part of the spec contents and therefore of
+    ``spec_hash()`` (an override must never alias a cached result computed
+    under a different engine or adversary).
     """
 
     experiment: str
     name: str
     params: tuple[tuple[str, Any], ...] = ()
     engine: str | None = None
+    adversary: str | None = None
 
     @classmethod
     def make(
-        cls, experiment: str, name: str, engine: str | None = None, **params: Any
+        cls,
+        experiment: str,
+        name: str,
+        engine: str | None = None,
+        adversary: str | None = None,
+        **params: Any,
     ) -> "ScenarioSpec":
         """Build a spec, canonicalising ``params`` (sorted keys, frozen values)."""
         frozen = tuple(sorted((key, _freeze(value)) for key, value in params.items()))
-        return cls(experiment=experiment, name=name, params=frozen, engine=engine)
+        return cls(
+            experiment=experiment,
+            name=name,
+            params=frozen,
+            engine=engine,
+            adversary=adversary,
+        )
 
     def param(self, key: str, default: Any = None) -> Any:
         """The frozen value of parameter ``key``, or ``default`` if absent."""
@@ -77,8 +92,12 @@ class ScenarioSpec:
         """A copy of this spec pinned to ``engine`` (used by ``run --engine``)."""
         return replace(self, engine=engine)
 
+    def with_adversary(self, adversary: str | None) -> "ScenarioSpec":
+        """A copy pinned to fault policy ``adversary`` (``run --adversary``)."""
+        return replace(self, adversary=adversary)
+
     def as_dict(self) -> dict[str, Any]:
-        """JSON-able view: ``{"experiment", "name", "params": {...}[, "engine"]}``."""
+        """JSON-able view: ``{"experiment", "name", "params": {...}[, "engine"][, "adversary"]}``."""
         out: dict[str, Any] = {
             "experiment": self.experiment,
             "name": self.name,
@@ -86,6 +105,8 @@ class ScenarioSpec:
         }
         if self.engine is not None:
             out["engine"] = self.engine
+        if self.adversary is not None:
+            out["adversary"] = self.adversary
         return out
 
     def canonical_json(self) -> str:

@@ -32,8 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestRegistry:
-    def test_all_eighteen_experiments_registered(self):
-        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 19)]
+    def test_all_nineteen_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 20)]
 
     def test_every_experiment_has_scenarios_and_columns(self):
         for identifier in experiment_ids():
@@ -136,6 +136,53 @@ class TestEngineSelection:
         assert engines == ["batch", "indexed", "batch"]
 
 
+class TestAdversarySelection:
+    """The first-class ``adversary`` field and its override plumbing."""
+
+    def test_adversary_round_trips(self):
+        spec = ScenarioSpec.make("EXX", "s", adversary="drop:0.05", seed=1)
+        assert spec.adversary == "drop:0.05"
+        assert spec.as_dict()["adversary"] == "drop:0.05"
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and clone.adversary == "drop:0.05"
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_default_adversary_omitted_from_canonical_json(self):
+        # Specs predating the field keep their hashes: None never serialises.
+        spec = ScenarioSpec.make("EXX", "s", seed=1)
+        assert spec.adversary is None
+        assert "adversary" not in spec.as_dict()
+        assert "adversary" not in spec.canonical_json()
+
+    def test_adversary_changes_spec_hash(self):
+        base = ScenarioSpec.make("EXX", "s", seed=1)
+        assert base.with_adversary("drop:0.05").spec_hash() != base.spec_hash()
+        assert base.with_adversary("drop:0.05") != base.with_adversary("drop:0.1")
+        assert base.with_adversary(None) == base
+
+    def test_runner_adversary_override_reaches_report(self):
+        report = run_experiments(["E17"], jobs=1, adversary="drop:0.0")
+        for scenario in report["experiments"][0]["scenarios"]:
+            assert scenario["spec"]["adversary"] == "drop:0.0"
+
+    def test_e19_specs_carry_adversaries(self):
+        adversaries = [spec.adversary for spec in get_experiment("E19").scenarios]
+        assert adversaries[0] is None  # fault-free baseline
+        assert "drop:0.05" in adversaries
+        assert any(a and a.startswith("crash:") for a in adversaries)
+
+    @pytest.mark.parametrize("pin", ["drop:0.1", "crash:119@2", "budget:64", "none"])
+    def test_e19_survives_a_global_adversary_pin(self, pin):
+        # Pinning one fault policy onto the whole tier collapses the sweep
+        # (and crash:119@2 names a node absent from the 64-node spanner
+        # graph); the per-scenario checks and the verify hook must degrade
+        # to the pin-independent invariants instead of failing on
+        # sweep-shaped or curated-schedule assumptions.
+        report = run_experiments(["E19"], jobs=1, adversary=pin)
+        for scenario in report["experiments"][0]["scenarios"]:
+            assert scenario["spec"]["adversary"] == pin
+
+
 class TestFamilies:
     def test_known_families_build(self):
         graph = build_graph(("connected_gnp", 12, 0.4, 1))
@@ -183,7 +230,34 @@ class TestRunnerDeterminism:
     def test_cache_ignores_corrupt_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = get_experiment("E11").scenarios[0]
-        (tmp_path / f"{spec.spec_hash()}.json").write_text("{not json")
+        path = cache._path(spec)
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_cache_key_carries_schema_version(self, tmp_path):
+        # Entries written under an older repro-experiments/* schema live at
+        # a different filename, so they miss instead of silently replaying.
+        cache = ResultCache(tmp_path)
+        spec = get_experiment("E11").scenarios[0]
+        cache.put(spec, {"rounds": 1})
+        path = cache._path(spec)
+        assert SCHEMA.replace("/", "-") in path.name
+        old_payload = json.loads(path.read_text())
+        old_payload["schema"] = "repro-experiments/1"
+        (tmp_path / f"{spec.spec_hash()}.json").write_text(json.dumps(old_payload))
+        path.unlink()  # only the legacy-keyed file remains
+        assert cache.get(spec) is None
+
+    def test_cache_rejects_stale_schema_field(self, tmp_path):
+        # Belt and braces: even at the right filename, a stale stored schema
+        # (e.g. a renamed file) is rejected on read.
+        cache = ResultCache(tmp_path)
+        spec = get_experiment("E11").scenarios[0]
+        cache.put(spec, {"rounds": 1})
+        path = cache._path(spec)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "repro-experiments/1"
+        path.write_text(json.dumps(payload))
         assert cache.get(spec) is None
 
     def test_strip_timing_removes_only_timing(self):
@@ -244,6 +318,24 @@ class TestCLI:
         assert proc.returncode == 0
         assert "E01" in proc.stdout and "E17" in proc.stdout
 
+    def test_list_json_is_machine_readable(self):
+        proc = self._run("list", "--json")
+        assert proc.returncode == 0
+        listing = json.loads(proc.stdout)
+        assert listing["schema"] == SCHEMA
+        by_id = {entry["id"]: entry for entry in listing["experiments"]}
+        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 20)]
+        e19 = by_id["E19"]
+        assert e19["scenario_count"] == len(e19["scenarios"]) == 9
+        for scenario in e19["scenarios"]:
+            assert set(scenario) == {"name", "spec_hash"}
+            assert len(scenario["spec_hash"]) == 16
+        # The hashes must match the in-process registry exactly.
+        expected = {
+            spec.name: spec.spec_hash() for spec in get_experiment("E19").scenarios
+        }
+        assert {s["name"]: s["spec_hash"] for s in e19["scenarios"]} == expected
+
     def test_run_writes_json(self, tmp_path):
         out = tmp_path / "report.json"
         proc = self._run("run", "E11", "--jobs", "1", "--json", str(out), "--no-tables")
@@ -271,3 +363,19 @@ class TestCLI:
         proc = self._run("run", "E17", "--engine", "warp")
         assert proc.returncode != 0
         assert "invalid choice" in proc.stderr
+
+    def test_run_adversary_override_works(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run(
+            "run", "E11", "--adversary", "drop:0.0", "--jobs", "1",
+            "--json", str(out), "--no-tables",
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        for scenario in report["experiments"][0]["scenarios"]:
+            assert scenario["spec"]["adversary"] == "drop:0.0"
+
+    def test_run_adversary_rejects_bad_spec(self):
+        proc = self._run("run", "E11", "--adversary", "warp:9")
+        assert proc.returncode == 2
+        assert "adversary spec" in proc.stderr

@@ -11,6 +11,7 @@ from repro.distributed import (
     Simulator,
     congest_budget_bits,
     congest_model,
+    congest_overhead_report,
     estimate_bits,
     local_model,
     run_program,
@@ -186,6 +187,50 @@ class TestCongestEnforcement:
     def test_local_model_unbounded(self):
         assert local_model(100).bandwidth_bits is None
         assert congest_model(100).bandwidth_bits == congest_budget_bits(100)
+
+
+class TestCongestOverheadReport:
+    """The LOCAL-vs-CONGEST message-size overhead helper (paper Section 1.3)."""
+
+    def test_reports_budget_and_measured_maximum(self):
+        n = 16
+        payload = list(range(200))  # far beyond the CONGEST budget
+
+        def on_start(ctx):
+            ctx.broadcast(payload)
+            ctx.set_output(True)
+            ctx.halt()
+
+        result = run_program(
+            path_graph(n), lambda v: FunctionProgram(on_start, lambda ctx, inbox: None)
+        )
+        report = congest_overhead_report(result, n)
+        assert report["budget_bits"] == float(congest_budget_bits(n))
+        assert report["max_message_bits"] == float(result.metrics.max_message_bits)
+        assert report["overhead_factor"] == pytest.approx(
+            result.metrics.max_message_bits / congest_budget_bits(n)
+        )
+        assert report["overhead_factor"] > 1.0
+
+    def test_small_messages_stay_under_budget(self):
+        result = run_program(path_graph(8), lambda v: FloodMin())
+        report = congest_overhead_report(result, 8)
+        assert 0.0 < report["overhead_factor"] < 1.0
+
+    def test_logn_factor_scales_the_budget(self):
+        result = run_program(path_graph(8), lambda v: FloodMin())
+        wide = congest_overhead_report(result, 8, logn_factor=64)
+        narrow = congest_overhead_report(result, 8, logn_factor=32)
+        assert wide["budget_bits"] == 2 * narrow["budget_bits"]
+        assert wide["overhead_factor"] == pytest.approx(
+            narrow["overhead_factor"] / 2
+        )
+
+    def test_zero_budget_reports_infinite_overhead(self):
+        result = run_program(path_graph(4), lambda v: FloodMin())
+        report = congest_overhead_report(result, 4, logn_factor=0)
+        assert report["budget_bits"] == 0.0
+        assert report["overhead_factor"] == float("inf")
 
 
 class TestEncoding:

@@ -25,7 +25,7 @@ import pytest
 from repro.core.mds import MDSOptions, MDSProgram, run_mds
 from repro.core.two_spanner import run_two_spanner
 from repro.core.variants import WeightedVariant
-from repro.distributed import NodeProgram, Simulator, congest_model
+from repro.distributed import NoAdversary, NodeProgram, Simulator, congest_model
 from repro.graphs import assign_weights_from_choices, gnp_random_graph
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_runs.json"
@@ -65,6 +65,34 @@ class TestGoldenOutputs:
     def test_mds_n50(self, golden):
         g = gnp_random_graph(50, 0.10, seed=2)
         result = run_mds(g, seed=4)
+        record = {
+            "dominators": sorted(result.dominators),
+            "rounds": result.rounds,
+            "iterations": result.iterations,
+            "metrics": result.metrics.as_dict(),
+        }
+        assert record == golden["mds_n50_p010_s2_seed4"]
+
+
+class TestGoldenStabilityUnderNoAdversary:
+    """Installing the identity adversary must not perturb a single golden bit.
+
+    The adversary layer's contract is that ``NoAdversary`` (like passing no
+    adversary) leaves every engine's hot path untouched and never merges
+    fault counters into ``Metrics.as_dict()`` — so the LOCAL/CONGEST golden
+    records, captured long before the layer existed, must still match
+    bit-for-bit with the policy explicitly installed.
+    """
+
+    def test_spanner_golden_with_explicit_no_adversary(self, golden):
+        g = gnp_random_graph(40, 0.15, seed=3)
+        result = run_two_spanner(g, seed=1, adversary=NoAdversary())
+        assert spanner_record(result) == golden["unweighted_n40_p015_s3_seed1"]
+        assert result.metrics.per_adversary == {}
+
+    def test_mds_golden_with_explicit_no_adversary(self, golden):
+        g = gnp_random_graph(50, 0.10, seed=2)
+        result = run_mds(g, seed=4, adversary=NoAdversary())
         record = {
             "dominators": sorted(result.dominators),
             "rounds": result.rounds,
