@@ -19,6 +19,7 @@ message loss and is the E19 robustness workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Any
 
 from repro.distributed.adversary import Adversary
@@ -53,6 +54,8 @@ class FloodMaxProgram(NodeProgram):
     program.
     """
 
+    __slots__ = ("best", "rounds")
+
     def __init__(self, node: Node, rounds: int) -> None:
         self.best = node
         self.rounds = rounds
@@ -68,10 +71,19 @@ class FloodMaxProgram(NodeProgram):
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         """Fold the neighbours' broadcasts into my maximum; halt after the budget."""
         best = self.best
-        for payloads in inbox.values():
-            for value in payloads:
-                if value > best:
-                    best = value
+        if inbox.__class__ is dict:
+            if inbox:
+                # One C-level max over the flattened payload lists:
+                # measurably cheaper than a nested Python loop at E18/E20
+                # message volumes.
+                heard = max(chain.from_iterable(inbox.values()))
+                if heard > best:
+                    best = heard
+        else:
+            # Columnar inbox view: push the fold into the engine, which
+            # runs it over the round's flat payload column.  Identical
+            # result to the dict branch (the engine-parity tests pin this).
+            best = inbox.max_heard(best)
         self.best = best
         if ctx.round >= self.rounds:
             ctx.set_output(best)
@@ -88,15 +100,18 @@ def run_flood_max(
     engine: str = "indexed",
     max_rounds: int = 10_000,
     adversary: Adversary | None = None,
+    streaming_metrics: bool = False,
 ) -> FloodMaxResult:
     """Run flood-max and report whether the network agreed on one leader.
 
     ``model`` defaults to an enforcing broadcast-CONGEST policy (integer
     labels always fit the budget); ``engine`` selects the simulator engine —
-    the workload is pure broadcast, so all three engines accept it.  An
+    the workload is pure broadcast, so all four engines accept it.  An
     ``adversary`` injects faults; the fixed round budget then may no longer
     cover the effective diameter, so check ``converged`` (or use
     :func:`run_robust_flood_max`, which retransmits until locally stable).
+    ``streaming_metrics`` opts mega-scale runs into the bounded
+    ``bits_per_round`` history (scalar counters stay exact).
     """
     n = graph.number_of_nodes()
     model = model if model is not None else broadcast_congest_model(n)
@@ -107,6 +122,7 @@ def run_flood_max(
         seed=seed,
         engine=engine,
         adversary=adversary,
+        streaming_metrics=streaming_metrics,
     )
     run = sim.run(max_rounds=max_rounds)
     return _summarise(run)

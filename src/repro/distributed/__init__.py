@@ -9,7 +9,13 @@ from repro.distributed.adversary import (
     RoundBudgetAdversary,
     build_adversary,
 )
-from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
+from repro.distributed.columnar import ColumnarInbox, build_columnar_collect, have_numpy
+from repro.distributed.encoding import (
+    BitsMemo,
+    PayloadSizeTable,
+    congest_budget_bits,
+    estimate_bits,
+)
 from repro.distributed.errors import (
     BandwidthExceededError,
     MessageAdmissionError,
@@ -17,7 +23,7 @@ from repro.distributed.errors import (
     RoundLimitExceededError,
     SimulationError,
 )
-from repro.distributed.metrics import Metrics
+from repro.distributed.metrics import Metrics, RoundTally
 from repro.distributed.models import (
     BroadcastCongestModel,
     CommunicationModel,
@@ -48,6 +54,7 @@ __all__ = [
     "BitsMemo",
     "BroadcastCongestModel",
     "BroadcastNodeProgram",
+    "ColumnarInbox",
     "CommunicationModel",
     "CongestModel",
     "CongestedCliqueModel",
@@ -64,18 +71,22 @@ __all__ = [
     "NodeContext",
     "NodeProgram",
     "NotANeighborError",
+    "PayloadSizeTable",
     "RoundBudgetAdversary",
     "RoundLimitExceededError",
+    "RoundTally",
     "RunResult",
     "SimulationError",
     "Simulator",
     "broadcast_congest_model",
     "build_adversary",
+    "build_columnar_collect",
     "congest_budget_bits",
     "congest_model",
     "congest_overhead_report",
     "congested_clique_model",
     "estimate_bits",
+    "have_numpy",
     "local_model",
     "run_program",
 ]

@@ -50,7 +50,7 @@ The shipped adversaries:
 from __future__ import annotations
 
 import hashlib
-from collections.abc import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING, Any, ClassVar
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,6 +109,22 @@ class DeliveryFilter:
         their fault counters before returning ``False``.
         """
         return True
+
+    def deliver_mask(self, src: Node, dsts: Sequence[Node], bits: int) -> bytearray:
+        """Bulk fate of one sender's broadcast: one delivery flag per destination.
+
+        ``mask[i]`` is truthy iff the ``src -> dsts[i]`` message arrives.
+        This is the columnar engine's seam: the filter is consulted once per
+        sender with the whole neighbour row instead of once per message.
+        The default implementation literally loops :meth:`deliver`, so
+        decisions and fault counters are exactly those of the per-message
+        seam; subclasses whose decisions are pure functions of ``(round,
+        src, dst)`` may batch the work (see :class:`DropAdversary`'s filter)
+        but must keep both the decisions and the counter totals bit-for-bit
+        identical.
+        """
+        deliver = self.deliver
+        return bytearray(1 if deliver(src, dst, bits) else 0 for dst in dsts)
 
 
 class Adversary:
@@ -200,6 +216,35 @@ class _DropFilter(DeliveryFilter):
             metrics.bump_fault("adversary_dropped_bits", bits)
             return False
         return True
+
+    def deliver_mask(self, src: Node, dsts: Sequence[Node], bits: int) -> bytearray:
+        """Keyed-hash mask over ``(round, src, dst)`` for one broadcast row.
+
+        Evaluates the same per-destination BLAKE2 trials as :meth:`deliver`
+        (decisions are bit-identical) but hoists the round/key/rate lookups
+        out of the loop and folds the fault-counter bumps into two bulk
+        updates — the totals equal ``dropped`` per-message bumps exactly.
+        """
+        round_ = self.metrics.rounds
+        rate = self.rate
+        key = self.key
+        blake2b = hashlib.blake2b
+        from_bytes = int.from_bytes
+        mask = bytearray(len(dsts))
+        dropped = 0
+        for i, dst in enumerate(dsts):
+            digest = blake2b(
+                repr((round_, src, dst)).encode("utf-8"), key=key, digest_size=8
+            ).digest()
+            if from_bytes(digest, "big") / 2.0**64 < rate:
+                dropped += 1
+            else:
+                mask[i] = 1
+        if dropped:
+            metrics = self.metrics
+            metrics.bump_fault("adversary_dropped_messages", dropped)
+            metrics.bump_fault("adversary_dropped_bits", dropped * bits)
+        return mask
 
 
 class DropAdversary(Adversary):

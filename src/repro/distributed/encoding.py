@@ -113,6 +113,75 @@ class BitsMemo:
         self._memo.clear()
 
 
+#: Exact payload types whose :func:`estimate_bits` result is a pure function
+#: of ``(type, value)``.  ``bool`` precedes ``int`` deliberately: ``True == 1``
+#: hashes like ``1`` but is 1 bit, not 2, so the cache key must carry the
+#: exact type; similarly ``1 == 1.0`` (2 vs 64 bits).  Containers are
+#: excluded because *their* equality does not imply element-type equality
+#: (``(1,) == (True,)``) — they always fall through to a direct estimate.
+_VALUE_KEYED_TYPES = frozenset((bool, int, float, str, bytes, type(None)))
+
+
+class PayloadSizeTable:
+    """Value-keyed, run-lifetime size cache: ``estimate_bits`` off the hot loop.
+
+    :class:`BitsMemo` is identity-keyed and valid for one delivery pass only
+    (object ids recycle).  This table is *value*-keyed and persistent for a
+    whole run: the primitive payload classes broadcast workloads actually
+    send (integer labels, strings, floats) are measured once per distinct
+    ``(exact type, value)`` pair and afterwards cost one dict hit per
+    *round*, not per message — the columnar engine's per-payload-class size
+    table.  Exact-type keying is what makes value keying sound (see
+    ``_VALUE_KEYED_TYPES``); any other payload shape (tuples, dataclass-like
+    objects) is delegated to :func:`estimate_bits` directly, so the table
+    agrees with it bit-for-bit on every input.  ``cap`` bounds the number of
+    interned entries per table; once full, new values are measured directly
+    instead of cached, so adversarial high-cardinality payload streams
+    cannot grow the tables without bound.
+
+    Exact ``int`` payloads — the dominant broadcast payload class (vertex
+    labels, counters) — get a dedicated ``int_sizes`` dictionary keyed by
+    the raw value: one dict probe, no key-tuple allocation.  It is public
+    so the columnar engine's gather loop can alias it locally and inline
+    the probe; ``bool`` never lands there (``True.__class__ is bool``), so
+    the ``True == 1`` aliasing trap stays closed.
+    """
+
+    __slots__ = ("_table", "int_sizes", "cap")
+
+    def __init__(self, cap: int = 1 << 20) -> None:
+        self._table: dict[tuple[type, object], int] = {}
+        #: exact-``int`` fast table, keyed by the payload value itself.
+        self.int_sizes: dict[int, int] = {}
+        #: max interned entries per table (read-only by convention).
+        self.cap = cap
+
+    def measure(self, payload: object) -> int:
+        """Size of ``payload`` in bits; identical to ``estimate_bits(payload)``."""
+        cls = payload.__class__
+        if cls is int:
+            table = self.int_sizes
+            bits = table.get(payload)
+            if bits is None:
+                bits = estimate_bits(payload)
+                if len(table) < self.cap:
+                    table[payload] = bits
+            return bits
+        if cls in _VALUE_KEYED_TYPES:
+            key = (cls, payload)
+            table = self._table
+            bits = table.get(key)
+            if bits is None:
+                bits = estimate_bits(payload)
+                if len(table) < self.cap:
+                    table[key] = bits
+            return bits
+        return estimate_bits(payload)
+
+    def __len__(self) -> int:
+        return len(self._table) + len(self.int_sizes)
+
+
 def congest_budget_bits(n: int, factor: int = 32) -> int:
     """The per-edge per-round budget ``factor * ceil(log2 n)`` bits.
 

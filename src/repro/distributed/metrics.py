@@ -4,12 +4,18 @@
 :class:`LinkLedger` is the preallocated per-link bit ledger the indexed
 engine charges CONGEST bandwidth against (the batch engine needs no ledger:
 one broadcast payload per sender per round means a link's round total *is*
-the payload size).
+the payload size).  :class:`RoundTally` is the columnar engine's
+preallocated flat per-round counter block — kernels write slots of one
+64-bit array and :meth:`RoundTally.flush` folds them into :class:`Metrics`
+once per round, through the same :func:`flush_round_tally` seam the other
+engines use.  ``Metrics(streaming=True)`` bounds the otherwise O(rounds)
+``bits_per_round`` history for service-mode / mega-scale runs.
 """
 
 from __future__ import annotations
 
 from array import array
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -72,6 +78,43 @@ def flush_round_tally(
         metrics.bump("virtual_link_messages", virtual_messages)
 
 
+class RoundTally:
+    """Preallocated flat per-round counter block for the columnar engine.
+
+    The columnar kernels accumulate one round's deliveries into the slots of
+    a single 64-bit ``array("q")`` (no per-message attribute access, and a
+    NumPy kernel can deposit its reduced scalars directly), then
+    :meth:`flush` folds the block into :class:`Metrics` through the shared
+    :func:`flush_round_tally` seam — once per round, plus once more before
+    an enforcement raise, exactly like the other engines' plain-local
+    accumulators.  :meth:`reset` re-arms the block between rounds in one
+    slice assignment; ``max_bits`` is seeded with the run's current maximum
+    because :func:`flush_round_tally` stores that slot absolutely.
+    """
+
+    __slots__ = ("counts",)
+
+    #: slot indices of ``counts`` (kept dense so ``flush`` is one unpack).
+    MESSAGES, BITS, MAX_BITS, CUT_MESSAGES, CUT_BITS = 0, 1, 2, 3, 4
+    VIOLATIONS, BROADCASTS, VIRTUAL = 5, 6, 7
+    SLOTS = 8
+
+    _ZERO = array("q", [0]) * SLOTS
+
+    def __init__(self) -> None:
+        self.counts = array("q", self._ZERO)
+
+    def reset(self, max_bits: int) -> None:
+        """Zero every slot and seed ``MAX_BITS`` with the run's current maximum."""
+        counts = self.counts
+        counts[:] = self._ZERO
+        counts[self.MAX_BITS] = max_bits
+
+    def flush(self, metrics: "Metrics") -> None:
+        """Fold the block into ``metrics`` via :func:`flush_round_tally`."""
+        flush_round_tally(metrics, *self.counts)
+
+
 @dataclass
 class Metrics:
     """Aggregate communication statistics for one simulation run.
@@ -97,6 +140,17 @@ class Metrics:
     as ``per_model`` — empty (and :meth:`as_dict` unchanged) for fault-free
     runs, including runs with an explicit ``NoAdversary`` installed, so the
     golden dictionaries never gain keys.
+
+    ``streaming=True`` opts into bounded-memory history for mega-scale /
+    service-mode runs: ``bits_per_round`` becomes a ``deque`` capped at
+    ``history_cap`` buckets (oldest rounds evicted) while the running
+    aggregates — every scalar counter above plus :meth:`peak_round_bits`
+    and the count in ``rounds`` — keep covering the whole run.  Every
+    scalar counter, :meth:`as_dict` and the retained history suffix are
+    bit-for-bit identical to a non-streaming run; only the evicted prefix
+    of ``bits_per_round`` (and hence ``sum(bits_per_round)``) differs.
+    The default is off, so goldens and the engine-parity fixtures are
+    untouched.
     """
 
     rounds: int = 0
@@ -109,6 +163,18 @@ class Metrics:
     bits_per_round: list[int] = field(default_factory=lambda: [0])
     per_model: dict[str, int] = field(default_factory=dict)
     per_adversary: dict[str, int] = field(default_factory=dict)
+    streaming: bool = False
+    history_cap: int = 1024
+    _round_bits_peak: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        """Convert the history to a capped deque when streaming is requested."""
+        if self.streaming:
+            if self.history_cap < 1:
+                raise ValueError(
+                    f"history_cap must be >= 1, got {self.history_cap!r}"
+                )
+            self.bits_per_round = deque(self.bits_per_round, maxlen=self.history_cap)
 
     def record_message(self, bits: int, crosses_cut: bool) -> None:
         """Tally one delivered message of ``bits`` bits (reference engine)."""
@@ -121,9 +187,23 @@ class Metrics:
             self.cut_bits += bits
 
     def start_round(self) -> None:
-        """Advance the round counter and open a fresh ``bits_per_round`` bucket."""
+        """Advance the round counter and open a fresh ``bits_per_round`` bucket.
+
+        In streaming mode the bucket about to be evicted by the capped deque
+        is folded into the running peak first, so :meth:`peak_round_bits`
+        stays exact over the whole run while the history stays bounded.
+        """
         self.rounds += 1
-        self.bits_per_round.append(0)
+        history = self.bits_per_round
+        if self.streaming and len(history) == history.maxlen:
+            evicted = history[0]
+            if evicted > self._round_bits_peak:
+                self._round_bits_peak = evicted
+        history.append(0)
+
+    def peak_round_bits(self) -> int:
+        """Largest single-round bit total of the run (exact in both modes)."""
+        return max(self._round_bits_peak, max(self.bits_per_round, default=0))
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a model-owned counter (created on first use)."""

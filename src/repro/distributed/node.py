@@ -29,13 +29,35 @@ class NodeContext:
     Under a broadcast-only model (broadcast-CONGEST) targeted sends are
     rejected and at most one broadcast per round is admitted.
 
-    Under the ``batch`` simulator engine (``batch=True``) the context
-    collects the round's single broadcast payload by reference instead of
-    materialising one ``(dst, payload)`` tuple per neighbour; targeted sends
-    are rejected with a clear error (the batch fast path is defined only for
-    broadcast traffic) and one broadcast per round is admitted regardless of
-    the communication model.
+    Under a batch-collecting simulator engine (``batch=True`` — the
+    ``batch`` and ``columnar`` engines) the context collects the round's
+    single broadcast payload by reference instead of materialising one
+    ``(dst, payload)`` tuple per neighbour; targeted sends are rejected with
+    a clear error (the fast paths are defined only for broadcast traffic)
+    and one broadcast per round is admitted regardless of the communication
+    model.  ``engine_label`` names the engine in those error messages.
+
+    The class is slotted: contexts sit on every engine's per-round hot path
+    (``round``/``halted`` reads in the driver, ``_batch_payload`` in the
+    batch engines), and at E20 scale a million instances exist at once.
     """
+
+    __slots__ = (
+        "node_id",
+        "neighbors",
+        "graph_neighbors",
+        "n",
+        "rng",
+        "round",
+        "halted",
+        "output",
+        "_broadcast_only",
+        "_batch",
+        "_engine_label",
+        "_last_broadcast_round",
+        "_outbox",
+        "_batch_payload",
+    )
 
     def __init__(
         self,
@@ -46,6 +68,7 @@ class NodeContext:
         graph_neighbors: frozenset[Node] | None = None,
         broadcast_only: bool = False,
         batch: bool = False,
+        engine_label: str = "batch",
     ) -> None:
         self.node_id = node_id
         self.neighbors = neighbors
@@ -57,6 +80,7 @@ class NodeContext:
         self.output: Any = None
         self._broadcast_only = broadcast_only
         self._batch = batch
+        self._engine_label = engine_label
         self._last_broadcast_round = -1
         self._outbox: list[tuple[Node, Any]] = []
         self._batch_payload: Any = NO_BROADCAST
@@ -72,8 +96,9 @@ class NodeContext:
         if self._batch:
             raise MessageAdmissionError(
                 f"node {self.node_id!r}: targeted send is not supported by the "
-                f"batch engine, which fast-paths broadcast-only traffic; run "
-                f"this program under engine='indexed' (or use broadcast())"
+                f"{self._engine_label} engine, which fast-paths broadcast-only "
+                f"traffic; run this program under engine='indexed' (or use "
+                f"broadcast())"
             )
         if dst not in self.neighbors:
             raise NotANeighborError(
@@ -83,25 +108,38 @@ class NodeContext:
 
     def broadcast(self, payload: Any) -> None:
         """Queue ``payload`` for every (communication) neighbour."""
-        if self._broadcast_only or self._batch:
-            # Round-based, not outbox-based, so the one-broadcast-per-round
-            # contract also holds for degree-0 nodes (empty outboxes).
-            if self._last_broadcast_round == self.round:
-                if self._broadcast_only:
-                    raise MessageAdmissionError(
-                        f"node {self.node_id!r}: broadcast-only models admit one "
-                        f"identical payload to all neighbours per round"
-                    )
-                raise MessageAdmissionError(
-                    f"node {self.node_id!r}: the batch engine admits one "
-                    f"broadcast per node per round (its fast path interns the "
-                    f"round's payload once per sender)"
-                )
-            self._last_broadcast_round = self.round
+        # Round-based, not outbox-based, so the one-broadcast-per-round
+        # contract also holds for degree-0 nodes (empty outboxes).  The
+        # batch-collecting branch comes first and reads ``_batch`` once:
+        # this method runs once per node per round at E18/E20 scale.
         if self._batch:
+            if self._last_broadcast_round == self.round:
+                raise self._double_broadcast_error()
+            self._last_broadcast_round = self.round
             self._batch_payload = payload
             return
+        if self._broadcast_only:
+            if self._last_broadcast_round == self.round:
+                raise self._double_broadcast_error()
+            self._last_broadcast_round = self.round
         self._outbox.extend((dst, payload) for dst in self.neighbors)
+
+    def _double_broadcast_error(self) -> MessageAdmissionError:
+        """The admission error for a second broadcast in one round.
+
+        Broadcast-only models take precedence in the message text, exactly
+        as before the batch-collecting engines existed.
+        """
+        if self._broadcast_only:
+            return MessageAdmissionError(
+                f"node {self.node_id!r}: broadcast-only models admit one "
+                f"identical payload to all neighbours per round"
+            )
+        return MessageAdmissionError(
+            f"node {self.node_id!r}: the {self._engine_label} engine "
+            f"admits one broadcast per node per round (its fast path "
+            f"interns the round's payload once per sender)"
+        )
 
     # ----------------------------------------------------------------- control
     def set_output(self, value: Any) -> None:

@@ -21,7 +21,13 @@ class NodeProgram(ABC):
     communication (it may already queue messages); ``on_round`` runs once per
     synchronous round with the messages received from each neighbour.  A node
     finishes by calling ``ctx.set_output(...)`` and ``ctx.halt()``.
+
+    The base class is slotted so that throughput-critical programs (e.g. the
+    E18/E20 flood-max workload) can opt into ``__slots__`` themselves;
+    subclasses that declare none still get an instance ``__dict__`` as usual.
     """
+
+    __slots__ = ()
 
     @abstractmethod
     def on_start(self, ctx: NodeContext) -> None:

@@ -16,7 +16,7 @@ clique) decouple the *communication* topology from the input graph: messages
 travel on a virtual complete graph while programs still compute on the input
 graph exposed as ``ctx.graph_neighbors``.
 
-Three engines share the public API and produce identical results:
+Four engines share the public API and produce identical results:
 
 * ``indexed`` (default) — runs on the model's compiled communication
   topology (:meth:`~repro.distributed.models.CommunicationModel.communication_topology`):
@@ -38,6 +38,18 @@ Three engines share the public API and produce identical results:
   (there is no silent fallback to the general path); for programs that only
   broadcast, the engine is bit-for-bit identical to ``indexed`` under every
   communication model.
+* ``columnar`` — the mega-scale flat-array engine
+  (:mod:`repro.distributed.columnar`).  Same broadcast-only admission as
+  ``batch``, but the remaining per-delivery Python loop is gone too:
+  accounting reduces over preallocated per-node count columns (NumPy
+  kernels when importable, stdlib ``array`` otherwise — identical
+  results), payload sizes come from a run-lifetime
+  :class:`~repro.distributed.encoding.PayloadSizeTable`, per-round
+  counters flush once through a
+  :class:`~repro.distributed.metrics.RoundTally`, and fault-free delivery
+  hands each receiver a lazy CSR-backed inbox view instead of building
+  dicts.  Bit-for-bit identical to ``indexed`` for broadcast-only
+  programs, including under every adversary.
 * ``reference`` — the original dict-of-dicts engine, kept as the
   differential-testing oracle and as the baseline the throughput benchmark
   (E16) measures speedups against.
@@ -45,7 +57,7 @@ Three engines share the public API and produce identical results:
 Fault injection composes orthogonally with both the models and the engines:
 an :class:`~repro.distributed.adversary.Adversary` policy may destroy
 admitted messages in flight (drops, throttling) or crash-stop nodes.  All
-three engines share one delivery-filter seam — the filter is consulted per
+engines share one delivery-filter seam — the filter is consulted per
 message after send-side accounting and before inbox insertion, plus once
 per round before programs execute (crash schedules force-halt there) — so
 engine-to-engine bit-for-bit equality holds *under the same adversary*,
@@ -62,6 +74,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.distributed.adversary import Adversary, DeliveryFilter
+from repro.distributed.columnar import build_columnar_collect
 from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
 from repro.distributed.metrics import LinkLedger, Metrics, flush_round_tally
@@ -74,7 +87,7 @@ from repro.graphs.graph import Graph
 Node = Hashable
 ProgramFactory = Callable[[Node], NodeProgram]
 
-ENGINES = ("indexed", "batch", "reference")
+ENGINES = ("indexed", "batch", "columnar", "reference")
 
 
 @dataclass
@@ -129,11 +142,19 @@ class Simulator:
         (used by the lower-bound reduction harness).
     engine:
         ``"indexed"`` (the compiled-topology engine, default),
-        ``"batch"`` (the broadcast-only struct-of-arrays fast path) or
-        ``"reference"`` (the original dict-based engine).  All engines
-        produce identical outputs and metrics for a fixed seed; ``batch``
-        additionally requires the program to communicate exclusively via
-        ``ctx.broadcast`` and raises on targeted sends.
+        ``"batch"`` (the broadcast-only struct-of-arrays fast path),
+        ``"columnar"`` (the mega-scale flat-array engine; NumPy-accelerated
+        when NumPy is importable, stdlib otherwise) or ``"reference"``
+        (the original dict-based engine).  All engines produce identical
+        outputs and metrics for a fixed seed; ``batch`` and ``columnar``
+        additionally require the program to communicate exclusively via
+        ``ctx.broadcast`` and raise on targeted sends.
+    streaming_metrics:
+        When true, run with ``Metrics(streaming=True)``: the
+        ``bits_per_round`` history is capped (oldest buckets evicted into
+        a running peak) while every scalar counter stays exact — intended
+        for mega-scale runs where an O(rounds) history is unwelcome.
+        Default off, preserving the golden-run dictionaries.
     adversary:
         Optional :class:`~repro.distributed.adversary.Adversary` fault
         policy (drops, crash-stop schedules, throttling).  ``None`` or
@@ -153,6 +174,7 @@ class Simulator:
         cut: Iterable[Node] | None = None,
         engine: str = "indexed",
         adversary: Adversary | None = None,
+        streaming_metrics: bool = False,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -163,7 +185,16 @@ class Simulator:
         self.cut = set(cut) if cut is not None else None
         self.engine = engine
         self.adversary = adversary
+        self.streaming_metrics = streaming_metrics
         self.topology = self.model.communication_topology(graph)
+
+    def _new_metrics(self) -> Metrics:
+        """Fresh metrics block for one run, honouring ``streaming_metrics``.
+
+        The single construction point for all four engines, so the
+        streaming knob can never apply to one engine and not another.
+        """
+        return Metrics(streaming=True) if self.streaming_metrics else Metrics()
 
     def _bind_adversary(self, metrics: Metrics) -> DeliveryFilter | None:
         """Seed fault counters and build this run's delivery filter (or None).
@@ -189,6 +220,8 @@ class Simulator:
             return self._run_reference(max_rounds, raise_on_limit)
         if self.engine == "batch":
             return self._run_batch(max_rounds, raise_on_limit)
+        if self.engine == "columnar":
+            return self._run_columnar(max_rounds, raise_on_limit)
         return self._run_indexed(max_rounds, raise_on_limit)
 
     def _drive(
@@ -215,6 +248,9 @@ class Simulator:
         for i in range(n):
             programs[i].on_start(contexts[i])
 
+        # Bind the round handlers once: the loop below runs n times per round
+        # at E18/E20 scale and the repeated method lookup is measurable.
+        handlers = [program.on_round for program in programs]
         pending = collect(range(n))
         active = [i for i in range(n) if not contexts[i].halted]
 
@@ -235,7 +271,7 @@ class Simulator:
                     continue  # crash-stopped at the top of this round
                 ctx.round = current_round
                 inbox = pending[i]
-                programs[i].on_round(ctx, inbox if inbox is not None else {})
+                handlers[i](ctx, inbox if inbox is not None else {})
             pending = collect(active)
             active = [i for i in active if not contexts[i].halted]
         return active
@@ -277,6 +313,7 @@ class Simulator:
                     graph_neighbors=graph_sets[i] if graph_sets is not None else None,
                     broadcast_only=broadcast_only,
                     batch=batch,
+                    engine_label=self.engine,
                 )
             )
             programs.append(self.program_factory(labels[i]))
@@ -290,7 +327,7 @@ class Simulator:
         labels = topo.labels
         contexts, programs, graph_sets = self._build_contexts(batch=False)
 
-        metrics = Metrics()
+        metrics = self._new_metrics()
         model.init_metrics(metrics)
         filt = self._bind_adversary(metrics)
         memo = BitsMemo()
@@ -439,7 +476,7 @@ class Simulator:
         contexts, programs, graph_sets = self._build_contexts(batch=True)
         broadcast_only = model.broadcast_only
 
-        metrics = Metrics()
+        metrics = self._new_metrics()
         model.init_metrics(metrics)
         filt = self._bind_adversary(metrics)
         budget = model.bandwidth_bits
@@ -572,6 +609,36 @@ class Simulator:
         outputs = {labels[i]: contexts[i].output for i in range(n)}
         return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
+    # ------------------------------------------------------- columnar engine
+    def _run_columnar(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
+        """Flat-array mega-scale engine (see :mod:`repro.distributed.columnar`).
+
+        Same shell as the batch engine — shared context construction, shared
+        round loop, shared adversary binding — with the per-round collection
+        pass swapped for the columnar kernels built by
+        :func:`~repro.distributed.columnar.build_columnar_collect`:
+        vectorised accounting over per-node count columns, a run-lifetime
+        payload size table, one metrics flush per round, and lazy CSR-backed
+        inbox views in place of per-delivery dict inserts.  Bit-for-bit
+        identical to the indexed engine for broadcast-only programs under
+        every communication model and adversary.
+        """
+        topo = self.topology
+        n = topo.n
+        labels = topo.labels
+        contexts, programs, graph_sets = self._build_contexts(batch=True)
+
+        metrics = self._new_metrics()
+        self.model.init_metrics(metrics)
+        filt = self._bind_adversary(metrics)
+        collect = build_columnar_collect(self, contexts, metrics, graph_sets, filt)
+
+        active = self._drive(
+            contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
+        )
+        outputs = {labels[i]: contexts[i].output for i in range(n)}
+        return RunResult(outputs=outputs, metrics=metrics, completed=not active)
+
     # ------------------------------------------------------ reference engine
     def _run_reference(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
         """The original dict-based engine, kept as the differential oracle."""
@@ -603,7 +670,7 @@ class Simulator:
             )
             programs[v] = self.program_factory(v)
 
-        metrics = Metrics()
+        metrics = self._new_metrics()
         model.init_metrics(metrics)
         filt = self._bind_adversary(metrics)
         for v in nodes:
@@ -690,6 +757,7 @@ def run_program(
     cut: Iterable[Node] | None = None,
     engine: str = "indexed",
     adversary: Adversary | None = None,
+    streaming_metrics: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
     sim = Simulator(
@@ -700,6 +768,7 @@ def run_program(
         cut=cut,
         engine=engine,
         adversary=adversary,
+        streaming_metrics=streaming_metrics,
     )
     return sim.run(max_rounds=max_rounds)
 

@@ -21,11 +21,27 @@ from repro.experiments.reporting import experiment_table, flatten_info
 from repro.experiments.runner import run_experiments
 
 
-def bench_experiment(benchmark, experiment_id: str, jobs: int = 1) -> dict[str, Any]:
-    """Run one experiment under pytest-benchmark and return the full report."""
+def bench_experiment(
+    benchmark,
+    experiment_id: str,
+    jobs: int = 1,
+    scenario_filter: str | None = None,
+) -> dict[str, Any]:
+    """Run one experiment under pytest-benchmark and return the full report.
+
+    ``scenario_filter`` restricts the run to scenarios whose name contains
+    the substring (cross-scenario ``verify`` is then skipped, exactly as
+    with the CLI's ``run --scenario``) — used by benchmark wrappers of
+    tiers whose full sweep is too heavy for a timing harness (e.g. E20's
+    n = 10^6 point).
+    """
     experiment = registry.get_experiment(experiment_id)
     report = benchmark.pedantic(
-        lambda: run_experiments([experiment.id], jobs=jobs), rounds=1, iterations=1
+        lambda: run_experiments(
+            [experiment.id], jobs=jobs, scenario_filter=scenario_filter
+        ),
+        rounds=1,
+        iterations=1,
     )
     entry = report["experiments"][0]
     results = [scenario["result"] for scenario in entry["scenarios"]]

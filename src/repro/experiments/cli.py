@@ -4,16 +4,21 @@ Subcommands::
 
     list [--json]                 show every registered experiment + scenarios
                                   (--json: machine-readable ids, scenario
-                                  counts and spec hashes for tooling/CI)
-    run E01 E16 E18 [--all]       run experiments (sharded over --jobs workers)
+                                  counts, spec hashes, per-experiment engines
+                                  and max_n for tooling/CI)
+    run E01 E16 E20 [--all]       run experiments (sharded over --jobs workers)
         --jobs N                  worker processes (default 1)
         --json PATH               write the stable JSON report
         --cache DIR               on-disk result cache keyed by spec hash
         --engine NAME             pin engine-aware scenarios to one simulator
-                                  engine (reference / indexed / batch)
+                                  engine (reference / indexed / batch /
+                                  columnar)
         --adversary SPEC          pin adversary-aware scenarios to one fault
                                   policy (none / drop:RATE / crash:N@R,... /
                                   budget:BITS)
+        --scenario SUBSTR         run only scenarios whose name contains the
+                                  substring (skips cross-scenario verify
+                                  hooks; the CI smoke knob for heavy tiers)
         --strip-timing            drop wall-time fields from the JSON so
                                   repeated runs are byte-identical
         --no-tables               suppress the reproduced tables
@@ -38,19 +43,40 @@ from repro.experiments.reporting import experiment_table
 from repro.experiments.runner import SCHEMA, ResultCache, run_experiments, strip_timing
 
 
+def _scenario_n(spec) -> int | None:
+    """Best-effort problem size of a scenario: its ``n`` param, else the
+    first argument of its ``graph`` family tuple (the ``n`` slot for every
+    sized family in :data:`repro.experiments.families.FAMILIES`)."""
+    n = spec.param("n")
+    if isinstance(n, int):
+        return n
+    graph = spec.param("graph")
+    if isinstance(graph, tuple) and len(graph) >= 2 and isinstance(graph[1], int):
+        return graph[1]
+    return None
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.json:
         # Machine-readable listing for tooling/CI: ids, scenario counts and
         # spec hashes are enough to detect registry drift without running
-        # anything.
+        # anything; engines/max_n let tooling pick tiers (e.g. "the biggest
+        # columnar experiment") without parsing scenario names.
         entries = []
         for identifier in registry.experiment_ids():
             experiment = registry.get_experiment(identifier)
+            sizes = [
+                n for spec in experiment.scenarios if (n := _scenario_n(spec)) is not None
+            ]
             entries.append(
                 {
                     "id": experiment.id,
                     "title": experiment.title,
                     "scenario_count": len(experiment.scenarios),
+                    "engines": sorted(
+                        {spec.engine for spec in experiment.scenarios if spec.engine}
+                    ),
+                    "max_n": max(sizes) if sizes else None,
                     "scenarios": [
                         {"name": spec.name, "spec_hash": spec.spec_hash()}
                         for spec in experiment.scenarios
@@ -96,10 +122,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cache=cache,
             engine=args.engine,
             adversary=args.adversary,
+            scenario_filter=args.scenario,
         )
     except ExperimentCheckError as error:
         print(f"experiment check failed: {error}", file=sys.stderr)
         return 1
+    except ValueError as error:
+        # e.g. a --scenario substring matching nothing.
+        print(f"run: {error}", file=sys.stderr)
+        return 2
     except KeyError as error:
         # e.g. a mistyped experiment id — the registry message lists the
         # known ids; surface it cleanly instead of a traceback.
@@ -140,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the ``python -m repro.experiments`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run the E01-E18 experiment reproductions through the "
+        description="Run the E01-E20 experiment reproductions through the "
         "scenario registry and sharded runner.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -171,7 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pin engine-aware scenarios to one simulator engine (the "
         "override becomes part of each spec, hence of its cache key); "
-        "'batch' requires broadcast-only workloads and raises otherwise",
+        "'batch' and 'columnar' require broadcast-only workloads and "
+        "raise otherwise",
     )
     runner.add_argument(
         "--adversary",
@@ -181,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         "('none', 'drop:RATE[:SALT]', 'crash:NODE@ROUND[,...]', "
         "'budget:BITS'; the override becomes part of each spec, hence of "
         "its cache key)",
+    )
+    runner.add_argument(
+        "--scenario",
+        metavar="SUBSTR",
+        default=None,
+        help="run only scenarios whose name contains this substring; "
+        "cross-scenario verify hooks are skipped and the report records "
+        "the filter (CI smoke knob for heavy tiers such as E20)",
     )
     runner.add_argument(
         "--strip-timing",

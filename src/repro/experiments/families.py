@@ -27,6 +27,7 @@ from repro.graphs import (
     path_graph,
     random_digraph,
     random_tournament,
+    sparse_gnp_csr,
     sparse_gnp_graph,
 )
 
@@ -46,6 +47,11 @@ FAMILIES: dict[str, Callable[..., Any]] = {
     "sparse_connected_gnp": lambda n, p, seed: sparse_gnp_graph(
         n, p, seed=seed, connect=True
     ),
+    # Same sampler, but scattered straight into frozen CSR arrays (no
+    # dict-of-sets intermediate): the E20 mega-scale family, usable at
+    # n = 10^6 where the adjacency-dict representation's peak RSS would
+    # dominate the run.
+    "sparse_gnp_csr": lambda n, p, seed: sparse_gnp_csr(n, p, seed=seed, connect=True),
     "grid": grid_graph,
     "path": path_graph,
     "cycle": cycle_graph,

@@ -1,6 +1,6 @@
 """The experiment registry: declarative scenario lists plus runner hooks.
 
-Every experiment (E01-E19) registers one :class:`Experiment` object mapping
+Every experiment (E01-E20) registers one :class:`Experiment` object mapping
 its id to
 
 * ``scenarios`` — the declarative :class:`~repro.experiments.spec.ScenarioSpec`
@@ -83,6 +83,7 @@ def load_all() -> None:
         defs_baselines,
         defs_lowerbounds,
         defs_mds,
+        defs_megascale,
         defs_robustness,
         defs_spanner,
         defs_substrate,

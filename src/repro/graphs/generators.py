@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import math
 import random
+from array import array
 from collections.abc import Sequence
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.graphs.topology import CompiledTopology, FrozenGraph
 
 
 def _rng(seed: int | random.Random | None) -> random.Random:
@@ -195,6 +197,134 @@ def sparse_gnp_graph(
     if connect:
         _chain_components(g, rng)
     return g
+
+
+def sparse_gnp_csr(
+    n: int, p: float, seed: int | random.Random | None = None, connect: bool = True
+) -> FrozenGraph:
+    """G(n, p) built straight into CSR form — the mega-scale generator path.
+
+    :func:`sparse_gnp_graph` runs the same geometric-skip sampler but stores
+    the edges in a mutable :class:`~repro.graphs.graph.Graph`
+    (dict-of-dicts adjacency) that ``freeze()`` then re-walks: at n = 10^6
+    the intermediate adjacency costs gigabytes of peak RSS and most of the
+    build time.  This generator streams the sampled edge endpoints into flat
+    ``array("q")`` buffers and scatters them directly into the
+    :class:`~repro.graphs.topology.CompiledTopology` CSR arrays — peak
+    memory is O(m) machine words, no per-edge dict entries ever exist, and
+    the result is returned as an immutable
+    :class:`~repro.graphs.topology.FrozenGraph` the simulator stack consumes
+    as-is (``freeze()`` is the identity).
+
+    The sampler consumes randomness *identically* to
+    :func:`sparse_gnp_graph`, so for the same seed the sampled edge set is
+    the same; when that sample is already connected, the two generators
+    produce exactly the same graph.  Connectivity patching differs (a
+    union-find over the edge stream instead of a component scan of the
+    built graph), so disconnected samples are chained along a different —
+    but equally random — spanning path; treat ``connect=True`` instances as
+    their own scenario family, as E20 does.  ``connect`` defaults to True
+    because the mega-scale flooding workloads require it.
+
+    Dense regimes are out of scope: ``p`` must be in ``[0, 1)`` (a complete
+    graph in CSR form at this scale would be astronomically large).  Nodes
+    are labelled ``0..n-1`` and every edge has weight 1.0.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError("p must be in [0, 1) for the CSR generator")
+    rng = _rng(seed)
+    esrc = array("q")
+    edst = array("q")
+    if p > 0.0:
+        # Batagelj-Brandes geometric skipping, bit-for-bit the recipe of
+        # sparse_gnp_graph: pairs walked in lexicographic (v, w) order with
+        # w < v, one log per sampled edge.
+        log_q = math.log(1.0 - p)
+        v, w = 1, -1
+        esrc_append = esrc.append
+        edst_append = edst.append
+        rand = rng.random
+        log = math.log
+        while v < n:
+            w += 1 + int(log(1.0 - rand()) / log_q)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n:
+                esrc_append(v)
+                edst_append(w)
+
+    chain: list[tuple[int, int]] = []
+    if connect and n > 1:
+        # Union-find with path halving; attaching the larger root under the
+        # smaller makes each final root the minimum member of its component,
+        # so representatives come out identical to a component scan.
+        parent = array("q", range(n))
+        for k in range(len(esrc)):
+            a, b = esrc[k], edst[k]
+            while parent[a] != a:
+                parent[a] = a = parent[parent[a]]
+            while parent[b] != b:
+                parent[b] = b = parent[parent[b]]
+            if a != b:
+                if a < b:
+                    parent[b] = a
+                else:
+                    parent[a] = b
+        reps = [i for i in range(n) if parent[i] == i]
+        if len(reps) > 1:
+            rng.shuffle(reps)
+            chain = list(zip(reps, reps[1:]))
+
+    # Two-pass counting scatter into CSR.  Core edges arrive in lex (v, w)
+    # order with w < v: scattering all the w-into-row-v entries first and
+    # all the v-into-row-w entries second leaves every row sorted ascending
+    # (smaller-than-i neighbours, each batch ascending) with no sort pass —
+    # the order :meth:`CompiledTopology.sorted_neighbor_rows` would impose.
+    degrees = array("q", [0]) * n
+    for k in range(len(esrc)):
+        degrees[esrc[k]] += 1
+        degrees[edst[k]] += 1
+    for a, b in chain:
+        degrees[a] += 1
+        degrees[b] += 1
+
+    indptr = array("q", [0]) * (n + 1)
+    total = 0
+    for i in range(n):
+        indptr[i] = total
+        total += degrees[i]
+    indptr[n] = total
+
+    indices = array("q", [0]) * total
+    cursor = array("q", indptr[:n])
+    for k in range(len(esrc)):
+        v = esrc[k]
+        indices[cursor[v]] = edst[k]
+        cursor[v] += 1
+    for k in range(len(esrc)):
+        w = edst[k]
+        indices[cursor[w]] = esrc[k]
+        cursor[w] += 1
+    if chain:
+        touched = set()
+        for a, b in chain:
+            indices[cursor[a]] = b
+            cursor[a] += 1
+            indices[cursor[b]] = a
+            cursor[b] += 1
+            touched.add(a)
+            touched.add(b)
+        for i in touched:
+            row = sorted(indices[indptr[i] : indptr[i + 1]])
+            indices[indptr[i] : indptr[i + 1]] = array("q", row)
+
+    weights = array("d", [1.0]) * total
+    edge_count = len(esrc) + len(chain)
+    topo = CompiledTopology(
+        list(range(n)), indptr, indices, weights, edge_count, directed=False
+    )
+    return FrozenGraph(topo)
 
 
 def connected_gnp_graph(

@@ -48,6 +48,7 @@ class CompiledTopology:
         "edge_count",
         "_label_sets",
         "_position_maps",
+        "_sorted_rows",
     )
 
     def __init__(
@@ -74,6 +75,7 @@ class CompiledTopology:
         self.edge_count = edge_count
         self._label_sets: list[frozenset[Node] | None] = [None] * self.n
         self._position_maps: list[dict[int, int] | None] = [None] * self.n
+        self._sorted_rows: list[tuple[int, ...]] | None = None
 
     # ------------------------------------------------------------- neighbours
     def neighbor_indices(self, i: int) -> array:
@@ -100,6 +102,36 @@ class CompiledTopology:
 
     def degree_of(self, i: int) -> int:
         return self.degrees[i]
+
+    def sorted_neighbor_rows(self) -> list[tuple[int, ...]]:
+        """Per-node neighbour index rows, each sorted ascending (cached).
+
+        CSR rows keep the graph's insertion order; consumers that must
+        observe neighbours in ascending index order — the columnar engine's
+        lazy inboxes replicate the indexed engine's inbox key order with
+        these — get the sorted rows materialised once per compiled view and
+        shared across runs.
+        """
+        rows = self._sorted_rows
+        if rows is None:
+            indptr, indices = self.indptr, self.indices
+            rows = self._sorted_rows = [
+                tuple(sorted(indices[indptr[i] : indptr[i + 1]]))
+                for i in range(self.n)
+            ]
+        return rows
+
+    # ----------------------------------------------------------- flat buffers
+    def flat_csr(self) -> tuple[memoryview, memoryview, memoryview]:
+        """Zero-copy typed views of the ``(indptr, indices, weights)`` arrays.
+
+        The views expose the CSR arrays through the buffer protocol with
+        their native item types (64-bit signed offsets/indices, 64-bit float
+        weights), so array-kernel consumers can wrap them without copying —
+        e.g. ``numpy.frombuffer(indices_view, dtype=numpy.int64)`` — while
+        the stdlib ``array`` objects remain the single source of truth.
+        """
+        return memoryview(self.indptr), memoryview(self.indices), memoryview(self.weights)
 
     def arc_position(self, src: int, dst: int) -> int:
         """Global CSR position of the link ``src -> dst``.
@@ -179,6 +211,98 @@ class CompiledTopology:
         return f"CompiledTopology(n={self.n}, arcs={self.arc_count}, {kind})"
 
 
+class FrozenGraph:
+    """Immutable graph view over a prebuilt :class:`CompiledTopology`.
+
+    The ``freeze``-direct generator path (:func:`repro.graphs.generators.sparse_gnp_csr`)
+    builds CSR arrays straight from an edge stream — at n = 10^6 the
+    intermediate dict-of-sets adjacency of a mutable
+    :class:`~repro.graphs.graph.Graph` costs gigabytes of peak RSS and most
+    of the build time.  This wrapper gives such a topology the read-only
+    graph surface the simulator stack consumes (``freeze()``,
+    ``number_of_nodes``, ``nodes``, ``neighbors``, …) without ever
+    materialising per-node hash containers; ``freeze()`` simply returns the
+    wrapped compiled view, so every engine shares the same CSR arrays the
+    generator produced.  Mutation is not supported — grow a regular
+    :class:`~repro.graphs.graph.Graph` instead.
+    """
+
+    __slots__ = ("_topology",)
+
+    directed = False
+
+    def __init__(self, topology: CompiledTopology) -> None:
+        self._topology = topology
+
+    def freeze(self) -> CompiledTopology:
+        """The wrapped compiled view (already built; never invalidated)."""
+        return self._topology
+
+    # ------------------------------------------------------------------ nodes
+    def nodes(self) -> list[Node]:
+        """The node labels in CSR (index) order."""
+        return list(self._topology.labels)
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes."""
+        return self._topology.n
+
+    def has_node(self, v: Node) -> bool:
+        """Whether ``v`` is a node of the graph."""
+        return v in self._topology.index
+
+    # ------------------------------------------------------------------ edges
+    def number_of_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._topology.edge_count
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Yield each undirected edge once (smaller CSR index first)."""
+        topo = self._topology
+        labels = topo.labels
+        indptr, indices = topo.indptr, topo.indices
+        for i in range(topo.n):
+            for pos in range(indptr[i], indptr[i + 1]):
+                j = indices[pos]
+                if i < j:
+                    yield labels[i], labels[j]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        topo = self._topology
+        index = topo.index
+        if u not in index or v not in index:
+            return False
+        i, j = index[u], index[v]
+        try:
+            topo.arc_position(i, j)
+        except KeyError:
+            return False
+        return True
+
+    def neighbors(self, v: Node) -> set[Node]:
+        """The neighbour label set of node ``v``."""
+        topo = self._topology
+        return set(topo.neighbor_label_set(topo.index[v]))
+
+    def degree(self, v: Node) -> int:
+        """Number of neighbours of node ``v``."""
+        topo = self._topology
+        return topo.degrees[topo.index[v]]
+
+    # ---------------------------------------------------------------- dunders
+    def __contains__(self, v: Node) -> bool:
+        return v in self._topology.index
+
+    def __len__(self) -> int:
+        return self._topology.n
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenGraph(n={self.number_of_nodes()}, m={self.number_of_edges()})"
+        )
+
+
 def compile_adjacency(
     adj: dict[Node, dict[Node, float]], edge_count: int, directed: bool
 ) -> CompiledTopology:
@@ -253,6 +377,7 @@ def complete_overlay(labels: list[Node]) -> CompiledTopology:
 
 __all__ = [
     "CompiledTopology",
+    "FrozenGraph",
     "compile_adjacency",
     "compile_digraph",
     "compile_graph",

@@ -32,8 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments_registered(self):
-        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 20)]
+    def test_all_twenty_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 21)]
 
     def test_every_experiment_has_scenarios_and_columns(self):
         for identifier in experiment_ids():
@@ -324,7 +324,7 @@ class TestCLI:
         listing = json.loads(proc.stdout)
         assert listing["schema"] == SCHEMA
         by_id = {entry["id"]: entry for entry in listing["experiments"]}
-        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 20)]
+        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 21)]
         e19 = by_id["E19"]
         assert e19["scenario_count"] == len(e19["scenarios"]) == 9
         for scenario in e19["scenarios"]:
@@ -335,6 +335,23 @@ class TestCLI:
             spec.name: spec.spec_hash() for spec in get_experiment("E19").scenarios
         }
         assert {s["name"]: s["spec_hash"] for s in e19["scenarios"]} == expected
+
+    def test_list_json_exposes_engines_and_max_n(self):
+        proc = self._run("list", "--json")
+        assert proc.returncode == 0
+        by_id = {
+            entry["id"]: entry for entry in json.loads(proc.stdout)["experiments"]
+        }
+        # Every experiment carries the tooling-discovery fields.
+        for entry in by_id.values():
+            assert "engines" in entry and "max_n" in entry
+            assert entry["engines"] == sorted(entry["engines"])
+        assert by_id["E20"]["engines"] == ["batch", "columnar"]
+        assert by_id["E20"]["max_n"] == 1_000_000
+        assert by_id["E18"]["engines"] == ["batch", "indexed"]
+        assert by_id["E18"]["max_n"] == 50_000
+        # Experiments whose specs carry no size stay discoverable as None.
+        assert by_id["E10"]["max_n"] is None
 
     def test_run_writes_json(self, tmp_path):
         out = tmp_path / "report.json"
@@ -379,3 +396,94 @@ class TestCLI:
         proc = self._run("run", "E11", "--adversary", "warp:9")
         assert proc.returncode == 2
         assert "adversary spec" in proc.stderr
+
+    def test_run_scenario_filter_skips_verify_and_records_filter(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run(
+            "run", "E18", "--scenario", "n=20000", "--jobs", "1",
+            "--json", str(out), "--no-tables", "--strip-timing",
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        assert report["scenario_filter"] == "n=20000"
+        entry = report["experiments"][0]
+        names = [scenario["spec"]["name"] for scenario in entry["scenarios"]]
+        assert names == ["n=20000 batch", "n=20000 indexed"]
+        # verify hooks are written against complete result lists: skipped.
+        assert entry["summary"] == {}
+
+    def test_run_scenario_filter_rejects_no_match(self):
+        proc = self._run("run", "E18", "--scenario", "n=77777")
+        assert proc.returncode == 2
+        assert "matches no scenario" in proc.stderr
+
+
+class TestScenarioFilter:
+    """run_experiments(scenario_filter=...) — the in-process contract."""
+
+    def test_filter_substring_selects_subset(self):
+        report = run_experiments(["E11"], jobs=1, scenario_filter="")
+        # Empty substring matches everything; filter still recorded and
+        # verify still skipped (the filter was *active*).
+        full = run_experiments(["E11"], jobs=1)
+        assert report["scenario_filter"] == ""
+        assert len(report["experiments"][0]["scenarios"]) == len(
+            full["experiments"][0]["scenarios"]
+        )
+        assert report["experiments"][0]["summary"] == {}
+        assert "scenario_filter" not in full
+
+    def test_filter_without_match_raises(self):
+        with pytest.raises(ValueError, match="matches no scenario"):
+            run_experiments(["E11"], jobs=1, scenario_filter="bogus-name")
+
+
+class TestE20Registration:
+    """The mega-scale tier's registry shape (no mega runs here)."""
+
+    def test_scenarios_and_anchor(self):
+        e20 = get_experiment("E20")
+        names = [spec.name for spec in e20.scenarios]
+        assert names == [
+            "n=20000 columnar", "n=20000 batch",
+            "n=200000", "n=500000", "n=1000000",
+        ]
+        engines = {spec.name: spec.engine for spec in e20.scenarios}
+        assert engines["n=20000 batch"] == "batch"
+        assert all(
+            engine == "columnar"
+            for name, engine in engines.items()
+            if name != "n=20000 batch"
+        )
+        # The twins anchor E20 to E18's exact differential graph.
+        e18_graph = next(
+            spec.param("graph")
+            for spec in get_experiment("E18").scenarios
+            if spec.name == "n=20000 batch"
+        )
+        for name in ("n=20000 columnar", "n=20000 batch"):
+            spec = next(s for s in e20.scenarios if s.name == name)
+            assert spec.param("graph") == e18_graph
+        # Mega points stream their metrics (bounded bits_per_round history).
+        for name in ("n=200000", "n=500000", "n=1000000"):
+            spec = next(s for s in e20.scenarios if s.name == name)
+            assert spec.param("streaming") is True
+            assert spec.param("graph")[0] == "sparse_gnp_csr"
+
+    def test_twin_scenarios_run_and_agree(self):
+        # The two n=20000 anchors plus the cross-engine verify — the only
+        # E20 slice cheap enough for tier-1.
+        report = run_experiments(["E20"], jobs=1, scenario_filter="n=20000 ")
+        entry = report["experiments"][0]
+        results = {
+            scenario["spec"]["name"]: scenario["result"]
+            for scenario in entry["scenarios"]
+        }
+        assert set(results) == {"n=20000 columnar", "n=20000 batch"}
+        columnar, batch = results["n=20000 columnar"], results["n=20000 batch"]
+        for key in columnar:
+            if key.startswith("timing.") or key in ("engine", "scenario"):
+                continue
+            assert columnar[key] == batch[key], key
+        assert columnar["leader"] == 19999
+        assert columnar["metrics.messages_sent"] == 10 * 2 * columnar["m"]

@@ -174,3 +174,60 @@ class TestWeightAssignment:
         g = gnp_random_graph(5, 0.5, seed=1)
         with pytest.raises(ValueError):
             assign_random_weights(g, 5.0, 1.0)
+
+
+class TestSparseGnpCsr:
+    """The freeze-direct CSR generator: same sampler, no adjacency dicts."""
+
+    def test_matches_dict_generator_on_connected_samples(self):
+        # Identical randomness consumption: whenever the raw sample is
+        # already connected (no patching), the two generators must produce
+        # the exact same edge set.
+        from repro.graphs import sparse_gnp_csr, sparse_gnp_graph
+
+        csr = sparse_gnp_csr(400, 0.03, seed=11, connect=False)
+        dict_based = sparse_gnp_graph(400, 0.03, seed=11, connect=False)
+        assert csr.number_of_nodes() == dict_based.number_of_nodes() == 400
+        assert sorted(map(tuple, map(sorted, csr.edges()))) == sorted(
+            map(tuple, map(sorted, dict_based.edges()))
+        )
+
+    def test_deterministic_and_connected(self):
+        from repro.graphs import sparse_gnp_csr
+
+        a = sparse_gnp_csr(2000, 0.002, seed=5)
+        b = sparse_gnp_csr(2000, 0.002, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        # connect=True default: one component, reachable by flooding.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            for w in a.neighbors(v):
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        assert len(seen) == 2000
+
+    def test_freeze_is_identity_and_degrees_consistent(self):
+        from repro.graphs import sparse_gnp_csr
+
+        g = sparse_gnp_csr(300, 0.02, seed=2)
+        topo = g.freeze()
+        assert g.freeze() is topo  # already-built CSR, never re-walked
+        assert sum(topo.degrees) == 2 * g.number_of_edges()
+
+    def test_rejects_dense_p(self):
+        from repro.graphs import sparse_gnp_csr
+
+        with pytest.raises(ValueError):
+            sparse_gnp_csr(10, 1.0, seed=1)
+
+    def test_runs_through_the_columnar_engine(self):
+        from repro.core import run_flood_max
+        from repro.graphs import sparse_gnp_csr
+
+        g = sparse_gnp_csr(1500, 0.004, seed=9)
+        result = run_flood_max(g, rounds=8, seed=3, engine="columnar")
+        assert result.converged
+        assert result.leader == 1499
