@@ -1,5 +1,26 @@
 """The paper's algorithmic contributions (Sections 4-6)."""
 
+from repro.core.clique_listing import (
+    LISTING_MODES,
+    DirectListingProgram,
+    ListingResult,
+    brute_force_triangles,
+    group_count,
+    group_triples,
+    run_clique_listing,
+    vertex_group,
+)
+from repro.core.clique_routing import (
+    CliqueRoutingProgram,
+    FanoutResult,
+    RoutingOverflowError,
+    RoutingResult,
+    RoutingSchedule,
+    TargetedFanoutProgram,
+    plan_clique_routing,
+    run_clique_routing,
+    run_targeted_fanout,
+)
 from repro.core.clique_two_spanner import (
     CliqueSpannerResult,
     CliqueTwoSpannerProgram,
@@ -47,36 +68,53 @@ from repro.core.variants import (
 
 __all__ = [
     "ClientServerVariant",
+    "CliqueRoutingProgram",
     "CliqueSpannerResult",
     "CliqueTwoSpannerProgram",
     "Decomposition",
+    "DirectListingProgram",
     "DirectedTwoSpannerResult",
+    "FanoutResult",
     "FloodMaxProgram",
     "FloodMaxResult",
+    "LISTING_MODES",
+    "ListingResult",
     "MDSOptions",
     "MDSResult",
     "NodeSetup",
     "OnePlusEpsResult",
     "RobustFloodMaxProgram",
+    "RoutingOverflowError",
+    "RoutingResult",
+    "RoutingSchedule",
     "SpannerVariant",
     "StarSelectionState",
+    "TargetedFanoutProgram",
     "TwoSpannerOptions",
     "TwoSpannerResult",
     "UnweightedVariant",
     "WeightedVariant",
+    "brute_force_triangles",
     "choose_candidate_star",
     "client_server_two_spanner",
     "clique_spanner_levels",
     "clique_spanner_round_bound",
     "decomposition_round_bound",
+    "group_count",
+    "group_triples",
     "network_decomposition",
     "one_plus_eps_spanner",
+    "plan_clique_routing",
     "radius_budget",
     "robust_flood_max_round_bound",
-    "run_flood_max",
-    "run_robust_flood_max",
+    "run_clique_listing",
+    "run_clique_routing",
     "run_clique_two_spanner",
     "run_directed_two_spanner",
+    "run_flood_max",
     "run_mds",
+    "run_robust_flood_max",
+    "run_targeted_fanout",
     "run_two_spanner",
+    "vertex_group",
 ]

@@ -46,6 +46,11 @@ from repro.distributed.simulator import (
     congest_overhead_report,
     run_program,
 )
+from repro.distributed.targeted import (
+    TargetedInbox,
+    build_targeted_collect,
+    have_targeted_numpy,
+)
 
 __all__ = [
     "ENGINES",
@@ -78,15 +83,18 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "Simulator",
+    "TargetedInbox",
     "broadcast_congest_model",
     "build_adversary",
     "build_columnar_collect",
+    "build_targeted_collect",
     "congest_budget_bits",
     "congest_model",
     "congest_overhead_report",
     "congested_clique_model",
     "estimate_bits",
     "have_numpy",
+    "have_targeted_numpy",
     "local_model",
     "run_program",
 ]

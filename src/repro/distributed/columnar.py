@@ -31,11 +31,17 @@ NumPy is strictly optional: when it is missing (or disabled via the
 ``REPRO_DISABLE_NUMPY`` environment variable) the stdlib kernels produce
 bit-for-bit identical results — slower, never different.
 
-Parity contract (the gate this engine ships under): for broadcast-only
-programs the columnar engine is bit-for-bit identical to the ``indexed``
-engine — outputs, ``Metrics.as_dict()``, ``bits_per_round`` — under all
+Rounds that contain targeted sends are not collected here at all: the
+contexts flag a shared signal cell and the engine delegates the whole
+round to the shared targeted fast path
+(:mod:`repro.distributed.targeted`), which reuses this run's payload size
+table.  The kernels below therefore only ever see pure-broadcast rounds.
+
+Parity contract (the gate this engine ships under): the columnar engine is
+bit-for-bit identical to the ``indexed`` engine — outputs,
+``Metrics.as_dict()``, ``bits_per_round`` — for every program under all
 four communication models and under every adversary.  The load-bearing
-details:
+details of the broadcast kernels:
 
 * inbox key order — the indexed engine inserts senders in ascending index
   order, so :class:`ColumnarInbox` iterates the *sorted* neighbour rows
@@ -218,6 +224,15 @@ class ColumnarInbox(Mapping):
                 total += 1
         return total
 
+    def __bool__(self) -> bool:
+        # ``if inbox:`` short-circuits at the first broadcasting neighbour
+        # instead of counting them all through ``__len__``.
+        st = self._st
+        if st.all_sent:
+            return bool(self._row)
+        sent = st.sent
+        return any(sent[j] for j in self._row)
+
     def __getitem__(self, src: Any) -> list[Any]:
         st = self._st
         j = st.index.get(src, -1)
@@ -339,6 +354,7 @@ def build_columnar_collect(
     metrics: Metrics,
     graph_sets,
     filt: "DeliveryFilter | None",
+    tsignal: list[bool] | None = None,
 ) -> Callable[[Iterable[int]], list[Any]]:
     """Build the columnar engine's per-round ``collect`` callable.
 
@@ -348,7 +364,11 @@ def build_columnar_collect(
     :class:`~repro.distributed.metrics.RoundTally`) and returns the closure
     :meth:`~repro.distributed.simulator.Simulator._drive` calls once per
     round.  ``sim`` supplies the compiled topology, model and cut exactly
-    as the other engines see them.
+    as the other engines see them.  ``tsignal`` is the contexts' shared
+    targeted-traffic signal cell: rounds that saw a ``ctx.send`` delegate
+    to the shared targeted fast path
+    (:func:`~repro.distributed.targeted.build_targeted_collect`, built
+    lazily on first use and sharing this engine's payload size table).
     """
     np = _np  # snapshot per run; tests monkeypatch the module global
     topo = sim.topology
@@ -531,7 +551,24 @@ def build_columnar_collect(
     # actually contain isolated vertices; compile it out otherwise.
     has_isolated = n_connected != n
 
+    # Targeted fast path, built on first use so broadcast-only programs
+    # never construct it.
+    targeted_collect: list[Callable[[Iterable[int]], list[Any]] | None] = [None]
+
     def collect(sender_ids: Iterable[int]) -> list[Any]:
+        if tsignal is not None and tsignal[0]:
+            # At least one ctx.send this round: the whole round (broadcasts
+            # included, replayed at their outbox positions) goes through the
+            # shared targeted-delivery path, reusing this run's size table.
+            tsignal[0] = False
+            targeted = targeted_collect[0]
+            if targeted is None:
+                from repro.distributed.targeted import build_targeted_collect
+
+                targeted = targeted_collect[0] = build_targeted_collect(
+                    sim, contexts, metrics, graph_sets, filt, size_table
+                )
+            return targeted(sender_ids)
         # ---- reset the persistent round columns.  Stale ``pays``/
         # ``plists`` entries are guarded by the ``sent`` flags, so only the
         # flags and the round caches need clearing (C-level slice write).

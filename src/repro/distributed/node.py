@@ -27,19 +27,29 @@ class NodeContext:
     source of randomness.  All other knowledge must arrive through messages.
 
     Under a broadcast-only model (broadcast-CONGEST) targeted sends are
-    rejected and at most one broadcast per round is admitted.
+    rejected and at most one broadcast per round is admitted.  That is the
+    only *semantic* send restriction: it belongs to the communication
+    model, never to an engine — every engine accepts every admission-legal
+    program.
 
     Under a batch-collecting simulator engine (``batch=True`` — the
-    ``batch`` and ``columnar`` engines) the context collects the round's
-    single broadcast payload by reference instead of materialising one
-    ``(dst, payload)`` tuple per neighbour; targeted sends are rejected with
-    a clear error (the fast paths are defined only for broadcast traffic)
-    and one broadcast per round is admitted regardless of the communication
-    model.  ``engine_label`` names the engine in those error messages.
+    ``batch`` and ``columnar`` engines) the context collects traffic in
+    struct-of-arrays form instead of materialising one ``(dst, payload)``
+    tuple per message: the round's single broadcast payload is interned by
+    reference (one broadcast per round is admitted regardless of the
+    communication model — those engines intern the payload once per
+    sender), and targeted sends append into the per-sender grouped outbox
+    (``_t_dsts`` / ``_t_pays`` parallel columns) consumed by the shared
+    targeted-delivery fast path (:mod:`repro.distributed.targeted`).
+    ``_t_bpos`` records where in that stream the broadcast was issued, so
+    mixed rounds replay in exactly the indexed engine's outbox order.
+    ``engine_label`` and ``model_name`` name the engine and model in
+    admission errors.
 
     The class is slotted: contexts sit on every engine's per-round hot path
-    (``round``/``halted`` reads in the driver, ``_batch_payload`` in the
-    batch engines), and at E20 scale a million instances exist at once.
+    (``round``/``halted`` reads in the driver, ``_batch_payload`` and the
+    targeted columns in the batch engines), and at E20 scale a million
+    instances exist at once.
     """
 
     __slots__ = (
@@ -54,9 +64,14 @@ class NodeContext:
         "_broadcast_only",
         "_batch",
         "_engine_label",
+        "_model_name",
         "_last_broadcast_round",
         "_outbox",
         "_batch_payload",
+        "_t_dsts",
+        "_t_pays",
+        "_t_bpos",
+        "_t_signal",
     )
 
     def __init__(
@@ -69,6 +84,7 @@ class NodeContext:
         broadcast_only: bool = False,
         batch: bool = False,
         engine_label: str = "batch",
+        model_name: str = "LOCAL",
     ) -> None:
         self.node_id = node_id
         self.neighbors = neighbors
@@ -81,29 +97,41 @@ class NodeContext:
         self._broadcast_only = broadcast_only
         self._batch = batch
         self._engine_label = engine_label
+        self._model_name = model_name
         self._last_broadcast_round = -1
         self._outbox: list[tuple[Node, Any]] = []
         self._batch_payload: Any = NO_BROADCAST
+        # Per-sender grouped outbox of the batch-collecting engines:
+        # parallel destination/payload columns (struct of arrays), the
+        # broadcast's interleave position, and the engine's shared
+        # round-had-targeted-traffic signal cell (a one-element list, so
+        # flagging it is one store — no per-round scan over all contexts).
+        # The cell is never None — batch engines overwrite it with their
+        # shared cell, and the private default keeps the send hot path
+        # branch-free for directly constructed contexts.
+        self._t_dsts: list[Node] = []
+        self._t_pays: list[Any] = []
+        self._t_bpos = -1
+        self._t_signal: list[bool] = [False]
 
     # ------------------------------------------------------------------ sends
     def send(self, dst: Node, payload: Any) -> None:
         """Queue ``payload`` for delivery to neighbour ``dst`` next round."""
         if self._broadcast_only:
             raise MessageAdmissionError(
-                f"node {self.node_id!r}: targeted send is not admitted in a "
-                f"broadcast-only model; use broadcast()"
-            )
-        if self._batch:
-            raise MessageAdmissionError(
-                f"node {self.node_id!r}: targeted send is not supported by the "
-                f"{self._engine_label} engine, which fast-paths broadcast-only "
-                f"traffic; run this program under engine='indexed' (or use "
-                f"broadcast())"
+                f"node {self.node_id!r}: targeted send is not admitted by the "
+                f"broadcast-only model {self._model_name} (running on the "
+                f"{self._engine_label} engine); use broadcast()"
             )
         if dst not in self.neighbors:
             raise NotANeighborError(
                 f"node {self.node_id!r} tried to message non-neighbour {dst!r}"
             )
+        if self._batch:
+            self._t_dsts.append(dst)
+            self._t_pays.append(payload)
+            self._t_signal[0] = True
+            return
         self._outbox.append((dst, payload))
 
     def broadcast(self, payload: Any) -> None:
@@ -117,6 +145,7 @@ class NodeContext:
                 raise self._double_broadcast_error()
             self._last_broadcast_round = self.round
             self._batch_payload = payload
+            self._t_bpos = len(self._t_dsts)
             return
         if self._broadcast_only:
             if self._last_broadcast_round == self.round:
@@ -132,8 +161,9 @@ class NodeContext:
         """
         if self._broadcast_only:
             return MessageAdmissionError(
-                f"node {self.node_id!r}: broadcast-only models admit one "
-                f"identical payload to all neighbours per round"
+                f"node {self.node_id!r}: the broadcast-only model "
+                f"{self._model_name} admits one identical payload to all "
+                f"neighbours per round"
             )
         return MessageAdmissionError(
             f"node {self.node_id!r}: the {self._engine_label} engine "

@@ -26,30 +26,34 @@ Four engines share the public API and produce identical results:
   :class:`~repro.distributed.metrics.LinkLedger` indexed by CSR arc
   position, and message sizes are measured once per distinct payload object
   per round (:class:`~repro.distributed.encoding.BitsMemo`).
-* ``batch`` — a struct-of-arrays fast path for *broadcast-only* traffic.
-  It exploits the broadcast-admission invariant (one identical payload per
-  sender per round, the rule :class:`~repro.distributed.models.BroadcastCongestModel`
+* ``batch`` — a struct-of-arrays fast path.  Broadcast rounds exploit the
+  broadcast-admission invariant (one identical payload per sender per
+  round, the rule :class:`~repro.distributed.models.BroadcastCongestModel`
   enforces and every broadcast-style workload obeys): each round's payload
   is interned once per sender, sized once, and delivered by CSR slice over
   the compiled topology instead of constructing one ``(dst, payload)``
-  message object per neighbour.  Cut/overlay/bandwidth accounting collapses
-  to per-sender arithmetic on preallocated per-node count arrays.  Targeted
-  sends raise :class:`~repro.distributed.errors.MessageAdmissionError`
-  (there is no silent fallback to the general path); for programs that only
-  broadcast, the engine is bit-for-bit identical to ``indexed`` under every
-  communication model.
+  message object per neighbour, with cut/overlay/bandwidth accounting
+  collapsed to per-sender arithmetic on preallocated per-node count
+  arrays.  Rounds with targeted traffic (``ctx.send`` appends into
+  per-sender grouped struct-of-arrays outboxes) are collected by the
+  shared targeted fast path (:mod:`repro.distributed.targeted`): flat
+  per-round columns, run-lifetime payload sizing, vectorised per-link
+  admission accounting and scatter delivery.  Bit-for-bit identical to
+  ``indexed`` for any program under every communication model.
 * ``columnar`` — the mega-scale flat-array engine
-  (:mod:`repro.distributed.columnar`).  Same broadcast-only admission as
-  ``batch``, but the remaining per-delivery Python loop is gone too:
-  accounting reduces over preallocated per-node count columns (NumPy
-  kernels when importable, stdlib ``array`` otherwise — identical
-  results), payload sizes come from a run-lifetime
+  (:mod:`repro.distributed.columnar`).  On broadcast rounds the remaining
+  per-delivery Python loop is gone too: accounting reduces over
+  preallocated per-node count columns (NumPy kernels when importable,
+  stdlib ``array`` otherwise — identical results), payload sizes come
+  from a run-lifetime
   :class:`~repro.distributed.encoding.PayloadSizeTable`, per-round
   counters flush once through a
   :class:`~repro.distributed.metrics.RoundTally`, and fault-free delivery
   hands each receiver a lazy CSR-backed inbox view instead of building
-  dicts.  Bit-for-bit identical to ``indexed`` for broadcast-only
-  programs, including under every adversary.
+  dicts.  Rounds with targeted traffic take the same shared targeted fast
+  path as the batch engine (sharing the columnar size table).  Bit-for-bit
+  identical to ``indexed`` for any program, including under every
+  adversary.
 * ``reference`` — the original dict-of-dicts engine, kept as the
   differential-testing oracle and as the baseline the throughput benchmark
   (E16) measures speedups against.
@@ -81,6 +85,7 @@ from repro.distributed.metrics import LinkLedger, Metrics, flush_round_tally
 from repro.distributed.models import CommunicationModel, LocalModel, Model, ModelConfig
 from repro.distributed.node import NO_BROADCAST, NodeContext
 from repro.distributed.program import NodeProgram
+from repro.distributed.targeted import build_targeted_collect
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 
@@ -142,13 +147,13 @@ class Simulator:
         (used by the lower-bound reduction harness).
     engine:
         ``"indexed"`` (the compiled-topology engine, default),
-        ``"batch"`` (the broadcast-only struct-of-arrays fast path),
+        ``"batch"`` (the struct-of-arrays fast path),
         ``"columnar"`` (the mega-scale flat-array engine; NumPy-accelerated
         when NumPy is importable, stdlib otherwise) or ``"reference"``
         (the original dict-based engine).  All engines produce identical
-        outputs and metrics for a fixed seed; ``batch`` and ``columnar``
-        additionally require the program to communicate exclusively via
-        ``ctx.broadcast`` and raise on targeted sends.
+        outputs and metrics for a fixed seed, for broadcast and targeted
+        traffic alike; the only send restriction is the *semantic* one —
+        broadcast-only models reject ``ctx.send`` on every engine.
     streaming_metrics:
         When true, run with ``Metrics(streaming=True)``: the
         ``bits_per_round`` history is capped (oldest buckets evicted into
@@ -278,7 +283,12 @@ class Simulator:
 
     def _build_contexts(
         self, batch: bool
-    ) -> tuple[list[NodeContext], list[NodeProgram], list[frozenset[Node]] | None]:
+    ) -> tuple[
+        list[NodeContext],
+        list[NodeProgram],
+        list[frozenset[Node]] | None,
+        list[bool] | None,
+    ]:
         """Seed RNGs and build contexts/programs for the list-indexed engines.
 
         Shared by the indexed and batch engines so that the master-RNG
@@ -287,6 +297,12 @@ class Simulator:
         contract depends on all three).  Overlay models expose the input
         graph's adjacency separately: overlay labels reuse ``graph.freeze()``
         order, hence the index spaces coincide.
+
+        For batch-collecting engines the contexts additionally share one
+        targeted-traffic signal cell (returned as the fourth element):
+        ``ctx.send`` flags it, so those engines learn in O(1) whether a
+        round needs the targeted collection path — pure-broadcast rounds
+        never pay a per-sender scan.
         """
         topo = self.topology
         model = self.model
@@ -300,24 +316,28 @@ class Simulator:
             graph_topo = self.graph.freeze()
             graph_sets = [graph_topo.neighbor_label_set(i) for i in range(n)]
         broadcast_only = model.broadcast_only
+        model_name = model.name
+        tsignal: list[bool] | None = [False] if batch else None
 
         contexts: list[NodeContext] = []
         programs: list[NodeProgram] = []
         for i in range(n):
-            contexts.append(
-                NodeContext(
-                    node_id=labels[i],
-                    neighbors=topo.neighbor_label_set(i),
-                    n=n,
-                    rng=random.Random(node_seeds[i]),
-                    graph_neighbors=graph_sets[i] if graph_sets is not None else None,
-                    broadcast_only=broadcast_only,
-                    batch=batch,
-                    engine_label=self.engine,
-                )
+            ctx = NodeContext(
+                node_id=labels[i],
+                neighbors=topo.neighbor_label_set(i),
+                n=n,
+                rng=random.Random(node_seeds[i]),
+                graph_neighbors=graph_sets[i] if graph_sets is not None else None,
+                broadcast_only=broadcast_only,
+                batch=batch,
+                engine_label=self.engine,
+                model_name=model_name,
             )
+            if tsignal is not None:
+                ctx._t_signal = tsignal
+            contexts.append(ctx)
             programs.append(self.program_factory(labels[i]))
-        return contexts, programs, graph_sets
+        return contexts, programs, graph_sets, tsignal
 
     # -------------------------------------------------------- indexed engine
     def _run_indexed(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
@@ -325,7 +345,7 @@ class Simulator:
         model = self.model
         n = topo.n
         labels = topo.labels
-        contexts, programs, graph_sets = self._build_contexts(batch=False)
+        contexts, programs, graph_sets, _ = self._build_contexts(batch=False)
 
         metrics = self._new_metrics()
         model.init_metrics(metrics)
@@ -446,12 +466,12 @@ class Simulator:
 
     # --------------------------------------------------------- batch engine
     def _run_batch(self, max_rounds: int, raise_on_limit: bool) -> RunResult:
-        """Struct-of-arrays fast path for broadcast-only traffic.
+        """Struct-of-arrays fast path.
 
-        Exploits the broadcast-admission invariant — one identical payload
-        per sender per round — to collapse per-message work into per-sender
-        work: the payload is interned once (no per-neighbour ``(dst,
-        payload)`` tuples), sized once with
+        Broadcast rounds exploit the broadcast-admission invariant — one
+        identical payload per sender per round — to collapse per-message
+        work into per-sender work: the payload is interned once (no
+        per-neighbour ``(dst, payload)`` tuples), sized once with
         :func:`~repro.distributed.encoding.estimate_bits`, and delivered by
         CSR slice.  Cut-crossing and overlay accounting use per-node
         neighbour counts precomputed once per run, and CONGEST enforcement
@@ -459,21 +479,27 @@ class Simulator:
         link's round total equals the payload size, so no
         :class:`~repro.distributed.metrics.LinkLedger` is needed).
 
-        Bit-for-bit identical to the indexed engine for any program that
-        communicates exclusively via ``ctx.broadcast``; targeted sends raise
-        :class:`~repro.distributed.errors.MessageAdmissionError` inside
-        ``ctx.send``.  One deliberate representation difference: the
-        single-payload inbox lists of one broadcast are *shared* between its
-        receivers (the indexed engine allocates one list per receiver), so
-        programs must treat inbox values as read-only — which every shipped
-        program and :class:`~repro.distributed.program.BroadcastNodeProgram`
-        already do.
+        Rounds with targeted traffic — contexts flag the shared signal cell
+        in ``ctx.send``, so pure-broadcast rounds never pay for the check —
+        are collected by the shared targeted fast path
+        (:func:`~repro.distributed.targeted.build_targeted_collect`, built
+        lazily on first use), which also handles any broadcast issued in
+        the same round.
+
+        Bit-for-bit identical to the indexed engine for any program under
+        every communication model.  One deliberate representation
+        difference: the single-payload inbox lists of one broadcast are
+        *shared* between its receivers (the indexed engine allocates one
+        list per receiver), so programs must treat inbox values as
+        read-only — which every shipped program and
+        :class:`~repro.distributed.program.BroadcastNodeProgram` already
+        do.
         """
         topo = self.topology
         model = self.model
         n = topo.n
         labels = topo.labels
-        contexts, programs, graph_sets = self._build_contexts(batch=True)
+        contexts, programs, graph_sets, tsignal = self._build_contexts(batch=True)
         broadcast_only = model.broadcast_only
 
         metrics = self._new_metrics()
@@ -515,7 +541,22 @@ class Simulator:
                     if labels[indices[pos]] not in gset
                 )
 
+        # The targeted fast path is built on first use, so broadcast-only
+        # programs never construct it.
+        targeted_collect = None
+
         def collect(sender_ids: Iterable[int]) -> list[dict[Node, list[Any]] | None]:
+            if tsignal[0]:
+                # At least one ctx.send this round: the whole round (any
+                # broadcasts included, replayed at their outbox positions)
+                # goes through the shared targeted-delivery path.
+                tsignal[0] = False
+                nonlocal targeted_collect
+                if targeted_collect is None:
+                    targeted_collect = build_targeted_collect(
+                        self, contexts, metrics, graph_sets, filt
+                    )
+                return targeted_collect(sender_ids)
             inboxes: list[dict[Node, list[Any]] | None] = [None] * n
             # Halting only changes between collection passes, so one dense
             # snapshot replaces a per-message attribute dereference.
@@ -619,19 +660,24 @@ class Simulator:
         :func:`~repro.distributed.columnar.build_columnar_collect`:
         vectorised accounting over per-node count columns, a run-lifetime
         payload size table, one metrics flush per round, and lazy CSR-backed
-        inbox views in place of per-delivery dict inserts.  Bit-for-bit
-        identical to the indexed engine for broadcast-only programs under
-        every communication model and adversary.
+        inbox views in place of per-delivery dict inserts.  Rounds with
+        targeted traffic delegate to the shared targeted fast path
+        (:func:`~repro.distributed.targeted.build_targeted_collect`),
+        sharing this engine's payload size table.  Bit-for-bit identical to
+        the indexed engine for every program under every communication
+        model and adversary.
         """
         topo = self.topology
         n = topo.n
         labels = topo.labels
-        contexts, programs, graph_sets = self._build_contexts(batch=True)
+        contexts, programs, graph_sets, tsignal = self._build_contexts(batch=True)
 
         metrics = self._new_metrics()
         self.model.init_metrics(metrics)
         filt = self._bind_adversary(metrics)
-        collect = build_columnar_collect(self, contexts, metrics, graph_sets, filt)
+        collect = build_columnar_collect(
+            self, contexts, metrics, graph_sets, filt, tsignal
+        )
 
         active = self._drive(
             contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
@@ -667,6 +713,8 @@ class Simulator:
                 rng=random.Random(node_seeds[v]),
                 graph_neighbors=graph_neighbors[v] if graph_neighbors is not None else None,
                 broadcast_only=broadcast_only,
+                engine_label="reference",
+                model_name=model.name,
             )
             programs[v] = self.program_factory(v)
 

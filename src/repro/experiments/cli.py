@@ -4,8 +4,9 @@ Subcommands::
 
     list [--json]                 show every registered experiment + scenarios
                                   (--json: machine-readable ids, scenario
-                                  counts, spec hashes, per-experiment engines
-                                  and max_n for tooling/CI)
+                                  counts, spec hashes, per-experiment engines,
+                                  targeted-traffic flag, engine capability
+                                  map and max_n for tooling/CI)
     run E01 E16 E20 [--all]       run experiments (sharded over --jobs workers)
         --jobs N                  worker processes (default 1)
         --json PATH               write the stable JSON report
@@ -61,7 +62,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         # Machine-readable listing for tooling/CI: ids, scenario counts and
         # spec hashes are enough to detect registry drift without running
         # anything; engines/max_n let tooling pick tiers (e.g. "the biggest
-        # columnar experiment") without parsing scenario names.
+        # columnar experiment") without parsing scenario names.  "targeted"
+        # says whether the workload issues ctx.send, and "engine_support"
+        # maps each engine to whether it can carry that traffic shape —
+        # all True since the targeted fast path, kept explicit so tooling
+        # never has to hard-code engine capabilities.
         entries = []
         for identifier in registry.experiment_ids():
             experiment = registry.get_experiment(identifier)
@@ -73,6 +78,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "id": experiment.id,
                     "title": experiment.title,
                     "scenario_count": len(experiment.scenarios),
+                    "targeted": experiment.targeted,
+                    "engine_support": {engine: True for engine in ENGINES},
                     "engines": sorted(
                         {spec.engine for spec in experiment.scenarios if spec.engine}
                     ),
@@ -202,8 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pin engine-aware scenarios to one simulator engine (the "
         "override becomes part of each spec, hence of its cache key); "
-        "'batch' and 'columnar' require broadcast-only workloads and "
-        "raise otherwise",
+        "every engine carries both broadcast and targeted traffic, "
+        "bit-for-bit",
     )
     runner.add_argument(
         "--adversary",

@@ -123,6 +123,7 @@ register(
         id="E14",
         title="Distributed (Thm 1.3) vs Kortsarz-Peleg greedy vs take-all",
         headline="head-to-head 2-spanner sizes across a shared graph suite",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("m", "m", None),
@@ -214,6 +215,7 @@ register(
         id="E15",
         title="Ablations of the Section 4 design choices",
         headline="exact vs peeling densest stars, re-selection rule, vote thresholds",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("configuration", "configuration", None),

@@ -367,6 +367,7 @@ register(
         id="E12",
         title="Figure 3 / Claim 3.1: weighted 2-spanner of G_S vs vertex cover of G",
         headline="MVC reduction: exact equality (Claim 3.1) and the Lemma 3.2 transfer",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("solver", "solver", None),

@@ -59,6 +59,7 @@ register(
         id="E06",
         title="Theorem 5.1: guaranteed O(log Delta) MDS in CONGEST",
         headline="MDS sizes vs exact / greedy / expectation-only baselines",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("exact", "exact", None),

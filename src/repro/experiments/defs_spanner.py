@@ -92,6 +92,7 @@ register(
         id="E01",
         title="Theorem 1.3: distributed 2-spanner approximation ratio",
         headline="spanner size vs exact optimum / LP bound vs the log2(m/n) yardstick",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("m", "m", None),
@@ -157,6 +158,7 @@ register(
         id="E02",
         title="Theorem 1.3: rounds vs O(log n log Delta)",
         headline="iteration / round counts against the log2(n)*log2(Delta) yardstick",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("n", "n", None),
@@ -218,6 +220,7 @@ register(
         id="E03",
         title="Theorem 4.9: directed 2-spanner approximation",
         headline="directed spanner size vs exact optimum / directed LP bound",
+        targeted=True,
         columns=(
             ("workload", "workload", None),
             ("m", "m", None),
@@ -281,6 +284,7 @@ register(
         id="E04",
         title="Theorem 4.12: weighted 2-spanner, cost vs exact optimum",
         headline="weighted spanner cost across weight spreads vs the O(log Delta) bound",
+        targeted=True,
         columns=(
             ("weights", "weights", None),
             ("opt cost", "opt_cost", ".3f"),
@@ -355,6 +359,7 @@ register(
         id="E05",
         title="Theorem 4.15: client-server 2-spanner",
         headline="server-edge choices vs exact optimum across client/server splits",
+        targeted=True,
         columns=(
             ("split", "split", None),
             ("|C|", "clients", None),

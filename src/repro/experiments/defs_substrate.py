@@ -86,6 +86,7 @@ register(
         id="E16",
         title="simulator throughput on G(600, 0.05) two-spanner (seed 1)",
         headline="rounds/sec of the indexed engine vs the seed reference engine",
+        targeted=True,
         columns=(
             ("engine", "engine", None),
             ("rounds", "rounds", None),
@@ -177,6 +178,7 @@ register(
         id="E17",
         title="Congested Clique vs CONGEST 2-spanner (G(n, p), both fixed-seed)",
         headline="O(log n)-round clique 2-spanner vs the CONGEST algorithm, both engines",
+        targeted=True,
         columns=(
             ("n", "n", None),
             ("m", "m", None),

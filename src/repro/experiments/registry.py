@@ -1,6 +1,6 @@
 """The experiment registry: declarative scenario lists plus runner hooks.
 
-Every experiment (E01-E20) registers one :class:`Experiment` object mapping
+Every experiment (E01-E21) registers one :class:`Experiment` object mapping
 its id to
 
 * ``scenarios`` — the declarative :class:`~repro.experiments.spec.ScenarioSpec`
@@ -41,7 +41,15 @@ def check(condition: bool, message: str) -> None:
 
 @dataclass
 class Experiment:
-    """One registered experiment: scenarios, runner, checks, table layout."""
+    """One registered experiment: scenarios, runner, checks, table layout.
+
+    ``targeted`` records whether the experiment's workload issues targeted
+    sends (``ctx.send``) — surfaced by ``list --json`` so tooling can tell
+    traffic shapes apart without running anything.  Since the targeted
+    fast path every engine carries both traffic shapes; the only remaining
+    admission restriction is semantic (broadcast-only models reject
+    ``ctx.send`` on every engine).
+    """
 
     id: str
     title: str
@@ -51,6 +59,7 @@ class Experiment:
     run_scenario: Callable[[ScenarioSpec], dict[str, Any]]
     verify: Callable[[Sequence[dict[str, Any]]], dict[str, Any]] | None = None
     tags: tuple[str, ...] = field(default=())
+    targeted: bool = False
 
 
 _REGISTRY: dict[str, Experiment] = {}
@@ -81,6 +90,7 @@ def load_all() -> None:
         return
     from repro.experiments import (  # noqa: F401
         defs_baselines,
+        defs_clique_listing,
         defs_lowerbounds,
         defs_mds,
         defs_megascale,

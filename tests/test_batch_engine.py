@@ -174,32 +174,57 @@ class TestBatchDifferential:
 
 
 class TestBatchAdmission:
-    """Targeted traffic is rejected loudly — never silently downgraded."""
+    """Admission is the model's job: only semantic rejections remain."""
 
-    def test_targeted_send_raises_clear_error(self):
-        # CONGEST admits targeted sends, but the batch engine does not:
-        # requesting batch for a targeted-send program must raise, not fall
-        # back to the indexed path.
+    def test_targeted_send_accepted_and_matches_indexed(self):
+        # CONGEST admits targeted sends, and since the targeted fast path
+        # the batch engine does too — bit-for-bit the indexed oracle.
         def on_start(ctx):
-            ctx.send(next(iter(ctx.neighbors)), 1)
+            ctx.send(min(ctx.neighbors), ctx.node_id + 1)
+            ctx.set_output(ctx.node_id)
+            ctx.halt()
 
-        with pytest.raises(MessageAdmissionError, match="batch engine"):
-            run_program(
+        runs = {
+            engine: run_program(
                 path_graph(4),
                 lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
                 model=congest_model(4),
-                engine="batch",
+                engine=engine,
             )
+            for engine in ("indexed", "batch")
+        }
+        assert runs["batch"].outputs == runs["indexed"].outputs
+        assert runs["batch"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
 
-    def test_targeted_send_raises_under_overlay_model_too(self):
+    def test_targeted_send_accepted_under_overlay_model_too(self):
         def on_start(ctx):
-            ctx.send(next(iter(ctx.neighbors)), 1)
+            ctx.send(min(ctx.neighbors), ctx.node_id + 1)
+            ctx.set_output(ctx.node_id)
+            ctx.halt()
 
-        with pytest.raises(MessageAdmissionError, match="batch engine"):
-            run_program(
+        runs = {
+            engine: run_program(
                 path_graph(4),
                 lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
                 model=congested_clique_model(4),
+                engine=engine,
+            )
+            for engine in ("indexed", "batch")
+        }
+        assert runs["batch"].outputs == runs["indexed"].outputs
+        assert runs["batch"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
+
+    def test_broadcast_only_model_rejects_targeted_send_naming_model(self):
+        # The semantic rejection survives on every engine and names the
+        # model, not an engine capability.
+        def on_start(ctx):
+            ctx.send(next(iter(ctx.neighbors)), 1)
+
+        with pytest.raises(MessageAdmissionError, match="broadcast-only model"):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=broadcast_congest_model(4),
                 engine="batch",
             )
 

@@ -449,20 +449,40 @@ class TestNumpyAbsentFallback:
 
 
 class TestColumnarAdmission:
-    """Unsupported traffic is rejected loudly, naming the engine."""
+    """Admission is the model's job: only semantic rejections remain."""
 
     def test_registered_engine(self):
         assert ENGINES == ("indexed", "batch", "columnar", "reference")
 
-    def test_targeted_send_raises_clear_error(self):
+    def test_targeted_send_accepted_and_matches_indexed(self):
+        # Since the targeted fast path the columnar engine admits targeted
+        # sends on every targeted-capable model, matching the oracle.
         def on_start(ctx):
-            ctx.send(next(iter(ctx.neighbors)), 1)
+            ctx.send(min(ctx.neighbors), ctx.node_id + 1)
+            ctx.set_output(ctx.node_id)
+            ctx.halt()
 
-        with pytest.raises(MessageAdmissionError, match="columnar engine"):
-            run_program(
+        runs = {
+            engine: run_program(
                 path_graph(4),
                 lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
                 model=congest_model(4),
+                engine=engine,
+            )
+            for engine in ("indexed", "columnar")
+        }
+        assert runs["columnar"].outputs == runs["indexed"].outputs
+        assert runs["columnar"].metrics.as_dict() == runs["indexed"].metrics.as_dict()
+
+    def test_broadcast_only_model_rejects_targeted_send_naming_model(self):
+        def on_start(ctx):
+            ctx.send(next(iter(ctx.neighbors)), 1)
+
+        with pytest.raises(MessageAdmissionError, match="broadcast-only model"):
+            run_program(
+                path_graph(4),
+                lambda v: FunctionProgram(on_start, lambda ctx, inbox: None),
+                model=broadcast_congest_model(4),
                 engine="columnar",
             )
 

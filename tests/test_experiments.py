@@ -32,8 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestRegistry:
-    def test_all_twenty_experiments_registered(self):
-        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 21)]
+    def test_all_twenty_one_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 22)]
 
     def test_every_experiment_has_scenarios_and_columns(self):
         for identifier in experiment_ids():
@@ -123,13 +123,24 @@ class TestEngineSelection:
         for scenario in scenarios:
             assert scenario["spec"]["engine"] == "batch"
 
-    def test_batch_override_on_targeted_send_experiment_raises(self):
-        # E16's two-spanner sends targeted messages; pinning it to the batch
-        # engine must raise the admission error, not silently fall back.
-        from repro.distributed import MessageAdmissionError
-
-        with pytest.raises(MessageAdmissionError, match="batch engine"):
-            run_experiments(["E16"], jobs=1, engine="batch")
+    def test_batch_override_on_targeted_send_experiment_matches_indexed(self):
+        # E16's two-spanner sends targeted messages; since the targeted
+        # fast path the batch engine runs it bit-for-bit like the oracle.
+        batch = run_experiments(["E16"], jobs=1, engine="batch")
+        indexed = run_experiments(["E16"], jobs=1, engine="indexed")
+        for b, i in zip(
+            batch["experiments"][0]["scenarios"],
+            indexed["experiments"][0]["scenarios"],
+        ):
+            b_result = {
+                k: v for k, v in b["result"].items()
+                if not k.startswith("timing.") and k != "engine"
+            }
+            i_result = {
+                k: v for k, v in i["result"].items()
+                if not k.startswith("timing.") and k != "engine"
+            }
+            assert b_result == i_result
 
     def test_e18_specs_carry_engines(self):
         engines = [spec.engine for spec in get_experiment("E18").scenarios]
@@ -324,7 +335,7 @@ class TestCLI:
         listing = json.loads(proc.stdout)
         assert listing["schema"] == SCHEMA
         by_id = {entry["id"]: entry for entry in listing["experiments"]}
-        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 21)]
+        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 22)]
         e19 = by_id["E19"]
         assert e19["scenario_count"] == len(e19["scenarios"]) == 9
         for scenario in e19["scenarios"]:
@@ -352,6 +363,25 @@ class TestCLI:
         assert by_id["E18"]["max_n"] == 50_000
         # Experiments whose specs carry no size stay discoverable as None.
         assert by_id["E10"]["max_n"] is None
+
+    def test_list_json_exposes_targeted_flag_and_engine_capabilities(self):
+        proc = self._run("list", "--json")
+        assert proc.returncode == 0
+        by_id = {
+            entry["id"]: entry for entry in json.loads(proc.stdout)["experiments"]
+        }
+        for entry in by_id.values():
+            assert isinstance(entry["targeted"], bool)
+            # Since the targeted fast path every engine carries every
+            # admission-legal workload; the map stays explicit so tooling
+            # never hard-codes that.
+            assert entry["engine_support"] == {
+                engine: True
+                for engine in ("indexed", "batch", "columnar", "reference")
+            }
+        assert by_id["E21"]["targeted"] is True
+        assert by_id["E18"]["targeted"] is False
+        assert by_id["E20"]["targeted"] is False
 
     def test_run_writes_json(self, tmp_path):
         out = tmp_path / "report.json"
