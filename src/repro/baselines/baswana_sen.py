@@ -49,7 +49,11 @@ def baswana_sen_spanner(
         return best
 
     for _phase in range(k - 1):
-        centres = {c for c in set(cluster_of.values()) if c is not None}
+        # Sorted centres: the Bernoulli draws below consume one rng value per
+        # centre, so the iteration order *is* the sampling outcome.  A plain
+        # set here would tie the spanner to PYTHONHASHSEED for any node type
+        # whose hash is salted (e.g. strings).
+        centres = sorted({c for c in cluster_of.values() if c is not None}, key=repr)
         sampled = {c for c in centres if rng.random() < sample_p}
         new_cluster: dict[Node, Node | None] = {}
         for v in graph.nodes():

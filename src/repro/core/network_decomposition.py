@@ -113,8 +113,10 @@ def network_decomposition(
         for v, centre in finished.items():
             color_of[v] = color
             cluster_of[v] = centre
-        # Track the largest cluster (weak) diameter for reporting.
-        for centre in set(finished.values()):
+        # Track the largest cluster (weak) diameter for reporting.  The max
+        # is order-insensitive, but iterate deterministically anyway so no
+        # future edit inside this loop can inherit hash-order dependence.
+        for centre in sorted(set(finished.values()), key=repr):
             members = {v for v, c in finished.items() if c == centre}
             ecc = 0
             dist = graph.bfs_distances(centre)

@@ -139,6 +139,8 @@ class Adversary:
     can round-trip the policy through :func:`build_adversary`.
     """
 
+    __slots__ = ()
+
     #: fault counters this policy maintains (pre-seeded to 0 when bound).
     counters: ClassVar[tuple[str, ...]] = ()
     #: True for the identity policy (binds to no filter at all).
@@ -181,6 +183,8 @@ class NoAdversary(Adversary):
     untouched, no fault counters are seeded, and ``Metrics.as_dict()``
     keeps the exact golden-run shape.
     """
+
+    __slots__ = ()
 
     is_null = True
 
@@ -260,6 +264,8 @@ class DropAdversary(Adversary):
     physical link transmission window.
     """
 
+    __slots__ = ("rate", "salt")
+
     counters = ("adversary_dropped_messages", "adversary_dropped_bits")
 
     def __init__(self, rate: float, salt: int = 0) -> None:
@@ -323,6 +329,8 @@ class CrashAdversary(Adversary):
     later are lost and counted as ``adversary_lost_messages``.  A node that
     halts voluntarily before its crash round is not counted as crashed.
     """
+
+    __slots__ = ("schedule",)
 
     counters = ("adversary_crashed_nodes", "adversary_lost_messages")
 
@@ -388,6 +396,8 @@ class RoundBudgetAdversary(Adversary):
     a message depends on how much of the cap earlier messages consumed,
     tallied in the engines' shared (outbox-order) delivery order.
     """
+
+    __slots__ = ("bits",)
 
     counters = ("adversary_throttled_messages", "adversary_throttled_bits")
 

@@ -611,7 +611,9 @@ def build_columnar_collect(
             if payload.__class__ is int:
                 bits = probe_int(payload)
                 if bits is None:
-                    bits = estimate_bits(payload)
+                    # This *is* the PayloadSizeTable int fast path, inlined;
+                    # the direct call only runs on a table miss.
+                    bits = estimate_bits(payload)  # reprolint: disable=REP006
                     if len(isizes) < size_cap:
                         isizes[payload] = bits
             else:

@@ -102,7 +102,9 @@ class BitsMemo:
 
     def measure(self, payload: object) -> int:
         """Size of ``payload`` in bits, computed once per distinct object."""
-        key = id(payload)
+        # Identity memo key within one delivery pass — never an ordering,
+        # never persisted, reset before ids can recycle (class docstring).
+        key = id(payload)  # reprolint: disable=REP003
         bits = self._memo.get(key)
         if bits is None:
             bits = self._memo[key] = estimate_bits(payload)

@@ -70,6 +70,8 @@ class CommunicationModel:
     model) always raise — they are structural, not a budget overflow.
     """
 
+    __slots__ = ("n", "enforce")
+
     model: ClassVar[Model]
     #: admission policy: one identical payload to all neighbours per round.
     broadcast_only: ClassVar[bool] = False
@@ -133,11 +135,15 @@ class CommunicationModel:
 class LocalModel(CommunicationModel):
     """LOCAL: unbounded messages between input-graph neighbours."""
 
+    __slots__ = ()
+
     model = Model.LOCAL
 
 
 class CongestModel(CommunicationModel):
     """CONGEST: ``logn_factor * ceil(log2 n)`` bits per edge per round."""
+
+    __slots__ = ("logn_factor",)
 
     model = Model.CONGEST
 
@@ -165,6 +171,8 @@ class BroadcastCongestModel(CongestModel):
     nothing and is not counted).
     """
 
+    __slots__ = ()
+
     model = Model.BROADCAST_CONGEST
     broadcast_only = True
     counters = ("broadcast_payloads",)
@@ -180,6 +188,8 @@ class CongestedCliqueModel(CongestModel):
     ``virtual_link_messages`` counter: messages sent over overlay links
     that are not edges of the input graph.
     """
+
+    __slots__ = ("_overlay",)
 
     model = Model.CONGESTED_CLIQUE
     uses_overlay = True

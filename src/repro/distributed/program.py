@@ -52,6 +52,8 @@ class BroadcastNodeProgram(NodeProgram):
     round (the admission policy enforces this).
     """
 
+    __slots__ = ()
+
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         heard = {}
         for sender, payloads in inbox.items():
@@ -76,6 +78,8 @@ class FunctionProgram(NodeProgram):
 
         prog = lambda: FunctionProgram(on_start=..., on_round=...)
     """
+
+    __slots__ = ("_on_start", "_on_round")
 
     def __init__(self, on_start, on_round) -> None:
         self._on_start = on_start

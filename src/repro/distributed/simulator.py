@@ -79,7 +79,11 @@ from typing import Any
 
 from repro.distributed.adversary import Adversary, DeliveryFilter
 from repro.distributed.columnar import build_columnar_collect
-from repro.distributed.encoding import BitsMemo, congest_budget_bits, estimate_bits
+from repro.distributed.encoding import (
+    BitsMemo,
+    PayloadSizeTable,
+    congest_budget_bits,
+)
 from repro.distributed.errors import BandwidthExceededError, RoundLimitExceededError
 from repro.distributed.metrics import LinkLedger, Metrics, flush_round_tally
 from repro.distributed.models import CommunicationModel, LocalModel, Model, ModelConfig
@@ -169,6 +173,18 @@ class Simulator:
         simulator seed, so the engine-parity contract extends to faulty
         runs: all engines agree bit-for-bit under the same adversary.
     """
+
+    __slots__ = (
+        "graph",
+        "program_factory",
+        "model",
+        "seed",
+        "cut",
+        "engine",
+        "adversary",
+        "streaming_metrics",
+        "topology",
+    )
 
     def __init__(
         self,
@@ -545,6 +561,12 @@ class Simulator:
         # programs never construct it.
         targeted_collect = None
 
+        # Run-lifetime value-keyed size cache (identical to estimate_bits on
+        # every input): one dict probe per sender per round instead of one
+        # recursive estimate per payload.
+        sizes = PayloadSizeTable()
+        measure = sizes.measure
+
         def collect(sender_ids: Iterable[int]) -> list[dict[Node, list[Any]] | None]:
             if tsignal[0]:
                 # At least one ctx.send this round: the whole round (any
@@ -589,7 +611,7 @@ class Simulator:
                     # A degree-0 broadcast delivers nothing (matches the
                     # indexed engine's empty outbox: no metrics, no counter).
                     continue
-                bits = estimate_bits(payload)
+                bits = measure(payload)
                 messages += deg
                 bits_total += deg * bits
                 if bits > max_bits:
@@ -765,6 +787,9 @@ class Simulator:
         budget = self.model.bandwidth_bits
         count_broadcasts = self.model.broadcast_only
         per_link_bits: dict[tuple[Node, Node], int] = {}
+        # One identity-keyed memo per delivery pass (exactly the BitsMemo
+        # validity window): a broadcast payload queued deg times is sized once.
+        measure = BitsMemo().measure
 
         for src, ctx in contexts.items():
             outbox = ctx._drain_outbox()
@@ -772,7 +797,7 @@ class Simulator:
                 metrics.bump("broadcast_payloads")
             src_graph_set = graph_neighbors[src] if graph_neighbors is not None else None
             for dst, payload in outbox:
-                bits = estimate_bits(payload)
+                bits = measure(payload)
                 crosses = self.cut is not None and ((src in self.cut) != (dst in self.cut))
                 metrics.record_message(bits, crosses)
                 if src_graph_set is not None and dst not in src_graph_set:

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-import numpy as np
+# Hard dependency by design: this module is SciPy-coupled analysis (HiGHS
+# via linprog), not engine code.  NumPy arrives with SciPy either way, so
+# the engines' optional-accelerator ``_np`` guard would only obscure the
+# real requirement here.
+import numpy as np  # reprolint: disable=REP005
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 

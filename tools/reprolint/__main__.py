@@ -1,0 +1,16 @@
+"""``python tools/reprolint`` entry point.
+
+Running a directory puts that directory itself on ``sys.path``; the package
+modules import each other as ``reprolint.*``, so the *parent* directory
+(``tools/``) must be importable first.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from reprolint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+"""Command line for reprolint.
+
+Examples (from the repository root)::
+
+    python tools/reprolint src/repro                      # all rules, text
+    python tools/reprolint --select REP002,REP006 src/repro
+    python tools/reprolint --json src/repro > reprolint.json
+    python tools/reprolint --json-out reprolint.json src/repro
+    python tools/reprolint --baseline tools/reprolint/baseline.json src/repro
+    python tools/reprolint --write-baseline debt.json src/repro
+    python tools/reprolint --list-rules
+
+Exit status is 0 when no (non-baselined, non-pragma'd) finding remains,
+1 when findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from reprolint.engine import Baseline, all_rules, iter_python_files, lint_paths, registry
+from reprolint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` tests)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based determinism & hot-path invariant checker",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to scan")
+    parser.add_argument(
+        "--select",
+        default="all",
+        metavar="RULES",
+        help="comma-separated rule codes to run, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to suppress",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report on stdout instead of text",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (text still on stdout)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: no paths given", file=sys.stderr)
+        return 2
+
+    try:
+        rules = registry.select(args.select) if all_rules() else []
+    except KeyError as error:
+        print(f"reprolint: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"reprolint: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = Baseline.load(baseline_path)
+
+    scanned = len(list(iter_python_files(args.paths)))
+    findings = lint_paths(args.paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(Baseline.dump(findings), encoding="utf-8")
+        print(f"reprolint: wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    json_report = render_json(findings, rules, scanned)
+    if args.json_out:
+        Path(args.json_out).write_text(json_report, encoding="utf-8")
+    if args.json:
+        sys.stdout.write(json_report)
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,50 @@
+"""Text and JSON rendering of lint findings.
+
+The text reporter is the human/CI-log format (one ``path:line:col CODE
+message`` row per finding, grouped output stable under re-runs).  The JSON
+reporter is the machine format CI uploads as an artifact; its schema is
+pinned by ``tests/test_lint.py`` so downstream tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from reprolint.engine import Finding, Rule
+
+#: Schema version stamped into every JSON report.
+JSON_SCHEMA = 1
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col CODE message`` line per finding, plus a summary."""
+    findings = list(findings)
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}\n    {f.snippet}"
+        for f in findings
+    ]
+    lines.append(
+        "reprolint: clean"
+        if not findings
+        else f"reprolint: {len(findings)} finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding], rules: Iterable[Rule], scanned_files: int
+) -> str:
+    """The artifact format: schema, rule catalogue, findings, summary."""
+    findings = list(findings)
+    payload = {
+        "schema": JSON_SCHEMA,
+        "tool": "reprolint",
+        "rules": [
+            {"code": r.code, "name": r.name, "rationale": r.rationale} for r in rules
+        ],
+        "scanned_files": scanned_files,
+        "findings": [f.as_dict() for f in findings],
+        "summary": {"total": len(findings), "clean": not findings},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
