@@ -135,7 +135,25 @@ class CliqueTwoSpannerProgram(NodeProgram):
         centre = min(elected, key=repr)
         self.attached.add(centre)
         self.my_edges.add(edge_key(self.node, centre))
-        ctx.broadcast(("a", centre))
+        ctx.broadcast(self._attach_payload(centre))
+
+    def _attach_payload(self, centre: Node) -> Any:
+        """Wire form of my attach announcement (coded variants add a checksum)."""
+        return ("a", centre)
+
+    def _attach_centre(self, msg: Any) -> Any:
+        """Centre carried by an attach message, or ``None`` to discard it.
+
+        The shape check makes the program *live* under a payload-corrupting
+        adversary (a damaged message is discarded instead of crashing the
+        vertex) but not *sound*: a forged ``("a", wrong_centre)`` is
+        accepted, which is exactly the coverage-soundness hole the coded
+        subclass closes.  Fault-free and loss-only runs never produce a
+        malformed attach message, so their behaviour is unchanged.
+        """
+        if type(msg) is tuple and len(msg) == 2 and msg[0] == "a":
+            return msg[1]
+        return None
 
     def _absorb_attaches(self, inbox: Inbox) -> None:
         for sender, payloads in inbox.items():
@@ -143,7 +161,13 @@ class CliqueTwoSpannerProgram(NodeProgram):
             if history is None:
                 continue  # attach of a non-neighbour: irrelevant to my edges
             for msg in payloads:
-                history.add(msg[1])
+                centre = self._attach_centre(msg)
+                if centre is None:
+                    continue
+                try:
+                    history.add(centre)
+                except TypeError:
+                    continue  # forged unhashable centre: discard
 
     def _update_coverage(self) -> None:
         if not self.uncovered:

@@ -28,6 +28,15 @@ Design rules (the ones the engine-parity contract depends on):
   when an adversary is active — the same pattern as the models'
   ``per_model`` counters — so fault-free runs (including explicit
   :class:`NoAdversary`) keep the golden-run dictionary shape bit-for-bit.
+* **Transforming filters disable payload sharing.**  A filter that mutates
+  payloads (``transforms = True``) breaks the engines' shared-payload-by-
+  reference fast paths: a broadcast may arrive *differently* at each
+  neighbour, so every engine must materialize per-edge payload lists when
+  such a filter is bound (the same fallback discipline as the
+  ``deliver_mask`` → eager-inbox path).  The :meth:`DeliveryFilter.transform`
+  seam runs after :meth:`DeliveryFilter.deliver` admits a message and before
+  the halted-receiver check, in every engine, so counter totals agree
+  bit-for-bit across engines.
 
 The shipped adversaries:
 
@@ -45,6 +54,12 @@ The shipped adversaries:
   the model budget: once a link's round total exceeds the cap, further
   messages on that link are silently destroyed (and counted), modelling a
   degraded network rather than a protocol violation.
+* :class:`CorruptAdversary` — per-link i.i.d. payload corruption with
+  probability ``rate``: the delivered payload has one bit flipped in its
+  canonical wire image (:mod:`repro.distributed.encoding` codec); images
+  that no longer decode arrive as the ``CORRUPTED`` sentinel.  Corruption
+  can *forge* values, which is the qualitatively new threat the coded
+  workloads in ``core/`` defend against.
 """
 
 from __future__ import annotations
@@ -52,6 +67,8 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING, Any, ClassVar
+
+from repro.distributed.encoding import CORRUPTED, corrupt_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.distributed.metrics import Metrics
@@ -95,6 +112,13 @@ class DeliveryFilter:
 
     __slots__ = ("metrics",)
 
+    #: True when :meth:`transform` may return a payload different from its
+    #: argument.  Engines test this flag once per run (never per message)
+    #: and fall back to per-edge payload materialization when set, because
+    #: a transforming filter invalidates shared-payload-by-reference
+    #: broadcast fan-out.
+    transforms: ClassVar[bool] = False
+
     def __init__(self, metrics: "Metrics") -> None:
         self.metrics = metrics
 
@@ -125,6 +149,19 @@ class DeliveryFilter:
         """
         deliver = self.deliver
         return bytearray(1 if deliver(src, dst, bits) else 0 for dst in dsts)
+
+    def transform(self, src: Node, dst: Node, payload: Any, bits: int) -> Any:
+        """The payload actually handed to ``dst`` (identity by default).
+
+        Runs only for messages :meth:`deliver` admitted, while
+        ``metrics.rounds`` is still the *sending* round, and before the
+        halted-receiver check (so counter totals are engine-independent).
+        Implementations must be pure functions of ``(round, src, dst,
+        payload)`` plus bound per-run state — never of call order — and
+        must set the class flag ``transforms = True`` so the engines route
+        around their shared-payload fast paths.
+        """
+        return payload
 
 
 class Adversary:
@@ -418,6 +455,94 @@ class RoundBudgetAdversary(Adversary):
         return (type(self), self.bits)
 
 
+class _CorruptFilter(DeliveryFilter):
+    """Per-run state of :class:`CorruptAdversary` (keyed-hash bit flips)."""
+
+    __slots__ = ("rate", "key")
+
+    transforms = True
+
+    def __init__(self, metrics: "Metrics", rate: float, key: bytes) -> None:
+        super().__init__(metrics)
+        self.rate = rate
+        self.key = key
+
+    def deliver_mask(self, src: Node, dsts: Sequence[Node], bits: int) -> bytearray:
+        """All-ones: corruption damages payloads but never destroys messages."""
+        return bytearray(b"\x01" * len(dsts))
+
+    def transform(self, src: Node, dst: Node, payload: Any, bits: int) -> Any:
+        """Flip one wire-image bit with probability ``rate``.
+
+        One 16-byte keyed BLAKE2 digest of ``(round, src, dst)`` supplies
+        both the Bernoulli trial (first 8 bytes) and the bit position
+        (last 8 bytes), so the decision *and* the damage are pure functions
+        of the link slot — two messages on one link in one round are
+        corrupted identically, the per-slot analogue of
+        :class:`DropAdversary`'s semantics.
+        """
+        if not self.rate:
+            return payload
+        digest = hashlib.blake2b(
+            repr((self.metrics.rounds, src, dst)).encode("utf-8"),
+            key=self.key,
+            digest_size=16,
+        ).digest()
+        if int.from_bytes(digest[:8], "big") / 2.0**64 >= self.rate:
+            return payload
+        metrics = self.metrics
+        metrics.bump_fault("adversary_corrupted_messages")
+        metrics.bump_fault("adversary_corrupted_bits", bits)
+        mutated = corrupt_payload(payload, int.from_bytes(digest[8:], "big"))
+        if mutated is CORRUPTED:
+            metrics.bump_fault("adversary_erased_messages")
+        return mutated
+
+
+class CorruptAdversary(Adversary):
+    """Seeded i.i.d. per-link payload corruption with probability ``rate``.
+
+    Each ``(round, src, dst)`` slot is an independent Bernoulli trial (same
+    keyed-BLAKE2 discipline as :class:`DropAdversary`, under its own stream
+    key, so drop and corrupt decisions at one seed are independent).  A
+    corrupted delivery has one bit flipped in the payload's canonical wire
+    image (:func:`repro.distributed.encoding.corrupt_payload`): usually this
+    *forges* a different valid value — the soundness threat — and otherwise
+    the receiver sees the ``CORRUPTED`` sentinel (counted additionally as
+    ``adversary_erased_messages``).  Corrupted messages still arrive and are
+    charged at full size; only their content lies.
+    """
+
+    __slots__ = ("rate", "salt")
+
+    counters = (
+        "adversary_corrupted_messages",
+        "adversary_corrupted_bits",
+        "adversary_erased_messages",
+    )
+
+    def __init__(self, rate: float, salt: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corrupt rate must be within [0, 1], got {rate!r}")
+        self.rate = float(rate)
+        self.salt = salt
+
+    def bind(self, seed: Any, metrics: "Metrics") -> DeliveryFilter:
+        """Key the decision stream from ``seed`` and return the corrupt filter."""
+        return _CorruptFilter(
+            metrics, self.rate, _stream_key("corrupt", seed, self.salt)
+        )
+
+    def spec(self) -> str:
+        """``"corrupt:RATE"`` (with ``:SALT`` appended when non-zero)."""
+        if self.salt:
+            return f"corrupt:{self.rate!r}:{self.salt}"
+        return f"corrupt:{self.rate!r}"
+
+    def _key(self) -> tuple:
+        return (type(self), self.rate, self.salt)
+
+
 def build_adversary(spec: str) -> Adversary:
     """Parse a canonical adversary spec string into a policy object.
 
@@ -428,38 +553,66 @@ def build_adversary(spec: str) -> Adversary:
         drop:0.05:3             DropAdversary(rate=0.05, salt=3)
         crash:4@2,17@5          CrashAdversary({4: 2, 17: 5})
         budget:64               RoundBudgetAdversary(bits=64)
+        corrupt:0.05            CorruptAdversary(rate=0.05)
+        corrupt:0.05:3          CorruptAdversary(rate=0.05, salt=3)
 
     Crash node ids are parsed as integers — the label type of every shipped
     graph family; schedules over non-integer labels must construct
-    :class:`CrashAdversary` directly.
+    :class:`CrashAdversary` directly.  Malformed specs raise
+    :class:`ValueError` naming the offending token.
     """
     text = spec.strip()
     kind, _, rest = text.partition(":")
     try:
         if kind == "none" and not rest:
             return NoAdversary()
-        if kind == "drop":
-            rate, _, salt = rest.partition(":")
-            return DropAdversary(float(rate), salt=int(salt) if salt else 0)
+        if kind == "drop" or kind == "corrupt":
+            rate_text, _, salt_text = rest.partition(":")
+            rate = _parse_float_token(rate_text, "rate")
+            salt = _parse_int_token(salt_text, "salt") if salt_text else 0
+            cls = DropAdversary if kind == "drop" else CorruptAdversary
+            return cls(rate, salt=salt)
         if kind == "crash" and rest:
             schedule: dict[Node, int] = {}
             for entry in rest.split(","):
-                node_text, _, round_text = entry.partition("@")
-                schedule[int(node_text)] = int(round_text)
+                node_text, sep, round_text = entry.partition("@")
+                if not sep:
+                    raise ValueError(
+                        f"crash entry {entry!r} must look like NODE@ROUND"
+                    )
+                node = _parse_int_token(node_text, "crash node")
+                schedule[node] = _parse_int_token(round_text, "crash round")
             return CrashAdversary(schedule)
         if kind == "budget" and rest:
-            return RoundBudgetAdversary(int(rest))
+            return RoundBudgetAdversary(_parse_int_token(rest, "budget bits"))
     except (TypeError, ValueError) as error:
         raise ValueError(f"bad adversary spec {spec!r}: {error}") from None
     raise ValueError(
         f"unknown adversary spec {spec!r}; expected 'none', 'drop:RATE[:SALT]', "
-        f"'crash:NODE@ROUND[,...]' or 'budget:BITS'"
+        f"'corrupt:RATE[:SALT]', 'crash:NODE@ROUND[,...]' or 'budget:BITS'"
     )
+
+
+def _parse_float_token(text: str, what: str) -> float:
+    """``float(text)``, raising with ``what`` and the offending token named."""
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"{what} token {text!r} is not a number") from None
+
+
+def _parse_int_token(text: str, what: str) -> int:
+    """``int(text)``, raising with ``what`` and the offending token named."""
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(f"{what} token {text!r} is not an integer") from None
 
 
 __all__ = [
     "FAULT_PREFIX",
     "Adversary",
+    "CorruptAdversary",
     "CrashAdversary",
     "DeliveryFilter",
     "DropAdversary",

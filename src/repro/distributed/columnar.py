@@ -672,25 +672,51 @@ def build_columnar_collect(
         halted = [ctx.halted for ctx in contexts]
         eager: list[dict[Any, list[Any]] | None] = [None] * n
         deliver_mask = filt.deliver_mask
+        if not filt.transforms:
+            for src_i in senders:
+                src = labels[src_i]
+                bits = bits_col[src_i]
+                mask = deliver_mask(src, mask_rows[src_i], bits)
+                # One singleton list per sender, shared by all its receivers
+                # — exactly the batch engine's interning.
+                plist = [pays[src_i]]
+                row = rows[src_i]
+                for pos in range(len(row)):
+                    if not mask[pos]:
+                        continue
+                    j = row[pos]
+                    if halted[j]:
+                        continue
+                    box = eager[j]
+                    if box is None:
+                        eager[j] = {src: plist}
+                    else:
+                        box[src] = plist
+            return eager
+        # Transforming adversary: the broadcast may arrive differently at
+        # each neighbour, so the shared singleton list is invalid — call
+        # transform per admitted edge (deliver -> transform -> liveness,
+        # the canonical seam order) and materialize one list per edge.
+        transform = filt.transform
         for src_i in senders:
             src = labels[src_i]
             bits = bits_col[src_i]
-            mask = deliver_mask(src, mask_rows[src_i], bits)
-            # One singleton list per sender, shared by all its receivers —
-            # exactly the batch engine's interning.
-            plist = [pays[src_i]]
+            dst_row = mask_rows[src_i]
+            mask = deliver_mask(src, dst_row, bits)
+            payload = pays[src_i]
             row = rows[src_i]
             for pos in range(len(row)):
                 if not mask[pos]:
                     continue
+                tpay = transform(src, dst_row[pos], payload, bits)
                 j = row[pos]
                 if halted[j]:
                     continue
                 box = eager[j]
                 if box is None:
-                    eager[j] = {src: plist}
+                    eager[j] = {src: [tpay]}
                 else:
-                    box[src] = plist
+                    box[src] = [tpay]
         return eager
 
     return collect

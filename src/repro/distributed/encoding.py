@@ -21,6 +21,8 @@ benchmarks need.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections.abc import Mapping, Sequence, Set
 
 _FRAMING_BITS = 2
@@ -182,6 +184,253 @@ class PayloadSizeTable:
 
     def __len__(self) -> int:
         return len(self._table) + len(self.int_sizes)
+
+
+class UnencodablePayloadError(TypeError):
+    """The payload type has no canonical wire image (see :func:`encode_payload`)."""
+
+
+class PayloadDecodeError(ValueError):
+    """The wire image is not a valid canonical encoding."""
+
+
+class CorruptedPayload:
+    """Sentinel delivered when a corrupted wire image no longer decodes.
+
+    Behaves like negative infinity under comparisons so max-style folds
+    (flood-max, spanner elections) treat an undecodable message as "heard
+    nothing useful" without special-casing.  Hash and repr are constants so
+    the sentinel can live in decoded payload structures without introducing
+    id-dependent behaviour.  Use the module-level :data:`CORRUPTED` instance;
+    the class exists only to give it a type.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "CORRUPTED"
+
+    def __hash__(self) -> int:
+        return 0x6C0221  # constant: never id-derived
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CorruptedPayload)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, CorruptedPayload)
+
+    def __lt__(self, other: object) -> bool:
+        return not isinstance(other, CorruptedPayload)
+
+    def __le__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+    def __ge__(self, other: object) -> bool:
+        return isinstance(other, CorruptedPayload)
+
+
+#: The one :class:`CorruptedPayload` instance programs ever see.
+CORRUPTED = CorruptedPayload()
+
+#: Recursion guard for nested containers in encode/decode.
+_MAX_DEPTH = 32
+
+#: A LEB128 varint of more than 10 bytes exceeds 64 bits of length — reject
+#: early so a corrupted continuation bit cannot request absurd allocations.
+_MAX_VARINT_BYTES = 10
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(wire: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    for count in range(_MAX_VARINT_BYTES):
+        if pos >= len(wire):
+            raise PayloadDecodeError("truncated varint")
+        byte = wire[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if byte == 0 and count:
+                raise PayloadDecodeError("non-canonical varint padding")
+            return value, pos
+        shift += 7
+    raise PayloadDecodeError("varint longer than 10 bytes")
+
+
+def _encode_into(out: bytearray, payload: object, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise UnencodablePayloadError("payload nesting exceeds codec depth limit")
+    if payload is None:
+        out.append(ord("N"))
+        return
+    cls = payload.__class__
+    if cls is bool:
+        out.append(ord("T") if payload else ord("F"))
+        return
+    if cls is int:
+        out.append(ord("i"))
+        out.append(1 if payload < 0 else 0)
+        magnitude = -payload if payload < 0 else payload
+        image = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        _write_varint(out, len(image))
+        out += image
+        return
+    if cls is float:
+        out.append(ord("f"))
+        out += struct.pack(">d", payload)
+        return
+    if cls is str:
+        image = payload.encode("utf-8")
+        out.append(ord("s"))
+        _write_varint(out, len(image))
+        out += image
+        return
+    if cls is bytes:
+        out.append(ord("b"))
+        _write_varint(out, len(payload))
+        out += payload
+        return
+    if cls is tuple or cls is list:
+        out.append(ord("t") if cls is tuple else ord("l"))
+        _write_varint(out, len(payload))
+        for item in payload:
+            _encode_into(out, item, depth + 1)
+        return
+    raise UnencodablePayloadError(
+        f"no canonical wire image for payload type {cls.__name__!r}"
+    )
+
+
+def encode_payload(payload: object) -> bytes:
+    """Canonical tag-length-value wire image of ``payload``.
+
+    Covers the payload vocabulary simulated programs actually send — ``None``,
+    ``bool``, ``int``, ``float``, ``str``, ``bytes``, and tuples/lists thereof
+    (exact types only, so ``True`` and ``1`` stay distinct on the wire).  The
+    encoding is injective and platform-independent: equal values always share
+    one image, so the corruption adversary's bit flips are a pure function of
+    the value.  Raises :class:`UnencodablePayloadError` for anything else.
+    """
+    out = bytearray()
+    _encode_into(out, payload, 0)
+    return bytes(out)
+
+
+def _decode_from(wire: bytes, pos: int, depth: int) -> tuple[object, int]:
+    if depth > _MAX_DEPTH:
+        raise PayloadDecodeError("wire image nesting exceeds codec depth limit")
+    if pos >= len(wire):
+        raise PayloadDecodeError("truncated wire image")
+    tag = wire[pos]
+    pos += 1
+    if tag == ord("N"):
+        return None, pos
+    if tag == ord("T"):
+        return True, pos
+    if tag == ord("F"):
+        return False, pos
+    if tag == ord("i"):
+        if pos >= len(wire):
+            raise PayloadDecodeError("truncated int sign")
+        sign = wire[pos]
+        pos += 1
+        if sign > 1:
+            raise PayloadDecodeError("invalid int sign byte")
+        length, pos = _read_varint(wire, pos)
+        if length < 1 or pos + length > len(wire):
+            raise PayloadDecodeError("truncated int magnitude")
+        if length > 1 and wire[pos] == 0:
+            raise PayloadDecodeError("non-canonical int padding")
+        magnitude = int.from_bytes(wire[pos : pos + length], "big")
+        if sign and not magnitude:
+            raise PayloadDecodeError("negative zero is non-canonical")
+        return -magnitude if sign else magnitude, pos + length
+    if tag == ord("f"):
+        if pos + 8 > len(wire):
+            raise PayloadDecodeError("truncated float")
+        return struct.unpack(">d", wire[pos : pos + 8])[0], pos + 8
+    if tag == ord("s") or tag == ord("b"):
+        length, pos = _read_varint(wire, pos)
+        if pos + length > len(wire):
+            raise PayloadDecodeError("truncated string/bytes body")
+        body = wire[pos : pos + length]
+        pos += length
+        if tag == ord("b"):
+            return body, pos
+        try:
+            return body.decode("utf-8"), pos
+        except UnicodeDecodeError:
+            raise PayloadDecodeError("invalid utf-8 in string body") from None
+    if tag == ord("t") or tag == ord("l"):
+        length, pos = _read_varint(wire, pos)
+        if length > len(wire) - pos:
+            # Each element needs at least one tag byte; guard before building.
+            raise PayloadDecodeError("container length exceeds remaining bytes")
+        items = []
+        for _ in range(length):
+            item, pos = _decode_from(wire, pos, depth + 1)
+            items.append(item)
+        return (tuple(items) if tag == ord("t") else items), pos
+    raise PayloadDecodeError(f"unknown tag byte {tag:#04x}")
+
+
+def decode_payload(wire: bytes) -> object:
+    """Strict inverse of :func:`encode_payload`.
+
+    Every byte must be consumed and every field canonical; any deviation
+    raises :class:`PayloadDecodeError`, which the corruption pipeline maps
+    to the :data:`CORRUPTED` sentinel.
+    """
+    value, pos = _decode_from(wire, 0, 0)
+    if pos != len(wire):
+        raise PayloadDecodeError("trailing bytes after wire image")
+    return value
+
+
+def corrupt_payload(payload: object, bit: int) -> object:
+    """``payload`` with one bit flipped in its canonical wire image.
+
+    ``bit`` is reduced modulo the image's bit length, so any 64-bit hash
+    output picks a valid position.  If the payload has no wire image, or the
+    damaged image no longer decodes, the result is the :data:`CORRUPTED`
+    sentinel — corruption can forge values but never crash the transport.
+    """
+    try:
+        wire = bytearray(encode_payload(payload))
+    except UnencodablePayloadError:
+        return CORRUPTED
+    index = bit % (8 * len(wire))
+    wire[index >> 3] ^= 1 << (index & 7)
+    try:
+        return decode_payload(bytes(wire))
+    except PayloadDecodeError:
+        return CORRUPTED
+
+
+def payload_checksum(payload: object) -> int:
+    """32-bit BLAKE2 checksum of the payload's canonical wire image.
+
+    The coded workloads append this to their messages so a single corrupted
+    bit is detected (converting corruption into an erasure) with probability
+    ``1 - 2**-32`` per forged image.  Raises :class:`UnencodablePayloadError`
+    when the payload has no wire image.
+    """
+    digest = hashlib.blake2b(encode_payload(payload), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
 
 
 def congest_budget_bits(n: int, factor: int = 32) -> int:

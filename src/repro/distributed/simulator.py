@@ -66,7 +66,12 @@ message after send-side accounting and before inbox insertion, plus once
 per round before programs execute (crash schedules force-halt there) — so
 engine-to-engine bit-for-bit equality holds *under the same adversary*,
 and a ``None``/:class:`~repro.distributed.adversary.NoAdversary` adversary
-leaves every hot path untouched.
+leaves every hot path untouched.  Payload-transforming filters
+(``filt.transforms``, e.g. the corruption adversary) additionally disable
+the shared-payload-by-reference broadcast fan-out: each engine detects the
+flag once per run and materializes per-edge payloads, calling
+``filt.transform`` between the delivery decision and the receiver-liveness
+check at every seam.
 """
 
 from __future__ import annotations
@@ -404,6 +409,7 @@ class Simulator:
         else:
             link_bits, touched = None, None
         count_broadcasts = self.model.broadcast_only
+        transforms = filt is not None and filt.transforms
         inboxes: list[dict[Node, list[Any]] | None] = [None] * topo.n
 
         messages = 0
@@ -458,11 +464,16 @@ class Simulator:
                                 f"({self.model.name})"
                             )
                 # Adversary seam: the sender has been fully charged by now;
-                # a destroyed message only skips inbox insertion.  Checked
-                # before receiver liveness in every engine, so fault
-                # counters agree engine-to-engine.
-                if filt is not None and not filt.deliver(src, dst, bits):
-                    continue
+                # a destroyed message only skips inbox insertion, and a
+                # transforming filter rewrites the payload in flight.
+                # Deliver, then transform, then receiver liveness — the
+                # canonical order in every engine, so fault counters agree
+                # engine-to-engine.
+                if filt is not None:
+                    if not filt.deliver(src, dst, bits):
+                        continue
+                    if transforms:
+                        payload = filt.transform(src, dst, payload, bits)
                 if contexts[dst_i].halted:
                     continue
                 box = inboxes[dst_i]
@@ -583,6 +594,7 @@ class Simulator:
             # Halting only changes between collection passes, so one dense
             # snapshot replaces a per-message attribute dereference.
             halted = [ctx.halted for ctx in contexts]
+            transforms = filt is not None and filt.transforms
 
             messages = 0
             bits_total = 0
@@ -636,10 +648,10 @@ class Simulator:
                             f"({model.name})"
                         )
                 src = labels[src_i]
-                # One payload list shared by every receiver (read-only inbox
-                # contract; saves an allocation per delivered message).
-                plist = [payload]
                 if filt is None:
+                    # One payload list shared by every receiver (read-only
+                    # inbox contract; saves an allocation per delivery).
+                    plist = [payload]
                     for dst_i in nbrs:
                         if halted[dst_i]:
                             continue
@@ -648,10 +660,11 @@ class Simulator:
                             inboxes[dst_i] = {src: plist}
                         else:
                             box[src] = plist
-                else:
+                elif not transforms:
                     # Adversary seam, branched outside the hot loop so the
                     # fault-free fast path pays nothing.  Filter before the
                     # liveness check, exactly as the indexed engine does.
+                    plist = [payload]
                     for dst_i in nbrs:
                         if not filt.deliver(src, labels[dst_i], bits):
                             continue
@@ -662,6 +675,23 @@ class Simulator:
                             inboxes[dst_i] = {src: plist}
                         else:
                             box[src] = plist
+                else:
+                    # Transforming adversary: the broadcast may arrive
+                    # differently at each neighbour, so the shared-payload
+                    # fan-out is invalid — materialize one list per edge.
+                    transform = filt.transform
+                    for dst_i in nbrs:
+                        dst = labels[dst_i]
+                        if not filt.deliver(src, dst, bits):
+                            continue
+                        tpay = transform(src, dst, payload, bits)
+                        if halted[dst_i]:
+                            continue
+                        box = inboxes[dst_i]
+                        if box is None:
+                            inboxes[dst_i] = {src: [tpay]}
+                        else:
+                            box[src] = [tpay]
 
             flush()
             return inboxes
@@ -790,6 +820,7 @@ class Simulator:
         # One identity-keyed memo per delivery pass (exactly the BitsMemo
         # validity window): a broadcast payload queued deg times is sized once.
         measure = BitsMemo().measure
+        transforms = filt is not None and filt.transforms
 
         for src, ctx in contexts.items():
             outbox = ctx._drain_outbox()
@@ -813,8 +844,11 @@ class Simulator:
                                 f"{per_link_bits[link]} bits, budget is {budget} "
                                 f"({self.model.name})"
                             )
-                if filt is not None and not filt.deliver(src, dst, bits):
-                    continue
+                if filt is not None:
+                    if not filt.deliver(src, dst, bits):
+                        continue
+                    if transforms:
+                        payload = filt.transform(src, dst, payload, bits)
                 if contexts[dst].halted:
                     continue
                 inboxes.setdefault(dst, {}).setdefault(src, []).append(payload)

@@ -302,6 +302,11 @@ def build_targeted_collect(
         if deliver:
             inboxes = [None] * n
             halted = [ctx.halted for ctx in contexts]
+        # A transforming filter rewrites payloads in their per-edge column
+        # slots (each flat-column entry belongs to exactly one edge, so the
+        # write is per-edge materialization for free).  Deliver -> transform
+        # -> liveness, the canonical seam order of every engine.
+        transforms = filt is not None and filt.transforms
 
         messages = 0
         bits_total = 0
@@ -361,6 +366,8 @@ def build_targeted_collect(
                     if not delivered:
                         k += 1
                         continue
+                    if transforms:
+                        t_pay[k] = filt.transform(src, labels[dst_i], t_pay[k], bits)
                     if halted is not None and halted[dst_i]:
                         k += 1
                         continue

@@ -91,6 +91,7 @@ def load_all() -> None:
     from repro.experiments import (  # noqa: F401
         defs_baselines,
         defs_clique_listing,
+        defs_corruption,
         defs_lowerbounds,
         defs_mds,
         defs_megascale,

@@ -19,6 +19,7 @@ from repro.core import (
 from repro.core.flood_max import FloodMaxProgram, RobustFloodMaxProgram
 from repro.distributed import (
     Adversary,
+    CorruptAdversary,
     CrashAdversary,
     DropAdversary,
     Metrics,
@@ -45,6 +46,7 @@ ADVERSARIES = [
     DropAdversary(0.1),
     CrashAdversary({3: 2, 11: 4}),
     RoundBudgetAdversary(40),
+    CorruptAdversary(0.1),
 ]
 
 
@@ -329,12 +331,41 @@ class TestAdversarySpecs:
 
     @pytest.mark.parametrize(
         "text",
-        ["none", "drop:0.05", "drop:0.05:3", "crash:4@2,17@5", "budget:64"],
+        [
+            "none",
+            "drop:0.05",
+            "drop:0.05:3",
+            "corrupt:0.05",
+            "corrupt:0.05:3",
+            "crash:4@2,17@5",
+            "budget:64",
+        ],
     )
     def test_spec_round_trips(self, text):
         adversary = build_adversary(text)
         assert isinstance(adversary, Adversary)
         assert build_adversary(adversary.spec()) == adversary
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            NoAdversary(),
+            DropAdversary(0.25),
+            DropAdversary(0.25, salt=7),
+            CorruptAdversary(0.25),
+            CorruptAdversary(0.25, salt=7),
+            CrashAdversary({3: 2, 11: 4}),
+            RoundBudgetAdversary(40),
+        ],
+        ids=lambda a: a.spec(),
+    )
+    def test_every_adversary_spec_is_lossless(self, adversary):
+        # The canonical spec() string is a complete serialisation: parsing
+        # it back yields a value-equal adversary (equal hash included).
+        rebuilt = build_adversary(adversary.spec())
+        assert rebuilt == adversary
+        assert hash(rebuilt) == hash(adversary)
+        assert rebuilt.spec() == adversary.spec()
 
     def test_value_semantics(self):
         assert DropAdversary(0.05) == DropAdversary(0.05)
@@ -343,12 +374,46 @@ class TestAdversarySpecs:
         assert hash(RoundBudgetAdversary(8)) == hash(RoundBudgetAdversary(8))
         assert NoAdversary() == NoAdversary()
         assert NoAdversary() != DropAdversary(0.0)
+        assert CorruptAdversary(0.05) == CorruptAdversary(0.05)
+        assert CorruptAdversary(0.05) != CorruptAdversary(0.05, salt=1)
+        assert CorruptAdversary(0.0) != DropAdversary(0.0)
+
+    def test_corrupt_rate_must_be_a_probability(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            CorruptAdversary(-0.1)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            CorruptAdversary(1.5)
 
     @pytest.mark.parametrize(
-        "text", ["", "warp", "drop:", "drop:2.0", "crash:", "crash:1", "budget:x"]
+        "text",
+        [
+            "",
+            "warp",
+            "drop:",
+            "drop:2.0",
+            "corrupt:",
+            "corrupt:-0.1",
+            "crash:",
+            "crash:1",
+            "budget:x",
+        ],
     )
     def test_bad_specs_rejected(self, text):
         with pytest.raises(ValueError):
+            build_adversary(text)
+
+    @pytest.mark.parametrize(
+        ("text", "message"),
+        [
+            ("drop:x", "rate token 'x' is not a number"),
+            ("corrupt:x", "rate token 'x' is not a number"),
+            ("corrupt:0.1:z", "salt token 'z' is not an integer"),
+            ("crash:1", "crash entry '1' must look like NODE@ROUND"),
+            ("budget:x", "bits token 'x' is not an integer"),
+        ],
+    )
+    def test_bad_specs_name_the_offending_token(self, text, message):
+        with pytest.raises(ValueError, match=message):
             build_adversary(text)
 
     def test_fault_counter_collision_raises(self):
