@@ -27,6 +27,7 @@ from repro.distributed.models import CommunicationModel, broadcast_congest_model
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, Node, NodeProgram
 from repro.distributed.simulator import Simulator
+from repro.distributed.vectorize import EngineView, MaxFloodKernel, VectorProgram
 
 
 @dataclass
@@ -40,7 +41,7 @@ class FloodMaxResult:
     node_outputs: dict[Node, Any] = field(repr=False, default_factory=dict)
 
 
-class FloodMaxProgram(NodeProgram):
+class FloodMaxProgram(VectorProgram, NodeProgram):
     """Per-vertex program: broadcast the largest label heard, for ``rounds`` rounds.
 
     The round budget is part of the program (every node halts after the same
@@ -91,6 +92,18 @@ class FloodMaxProgram(NodeProgram):
             return
         ctx.broadcast(best)
 
+    @classmethod
+    def vector_kernel(cls, programs, view: EngineView) -> MaxFloodKernel | None:
+        """Lower a homogeneous fixed-budget flood-max run to the max-fold kernel."""
+        if cls is not FloodMaxProgram:
+            return None
+        rounds = programs[0].rounds
+        labels = view.labels
+        for i, program in enumerate(programs):
+            if program.rounds != rounds or program.best != labels[i]:
+                return None
+        return MaxFloodKernel(rounds=rounds)
+
 
 def run_flood_max(
     graph,
@@ -101,6 +114,7 @@ def run_flood_max(
     max_rounds: int = 10_000,
     adversary: Adversary | None = None,
     streaming_metrics: bool = False,
+    vectorize: bool = True,
 ) -> FloodMaxResult:
     """Run flood-max and report whether the network agreed on one leader.
 
@@ -111,7 +125,9 @@ def run_flood_max(
     cover the effective diameter, so check ``converged`` (or use
     :func:`run_robust_flood_max`, which retransmits until locally stable).
     ``streaming_metrics`` opts mega-scale runs into the bounded
-    ``bits_per_round`` history (scalar counters stay exact).
+    ``bits_per_round`` history (scalar counters stay exact).  ``vectorize``
+    (columnar engine only) permits whole-round program lowering; pass False
+    to force the stepped per-node path, e.g. for lowered-vs-stepped twins.
     """
     n = graph.number_of_nodes()
     model = model if model is not None else broadcast_congest_model(n)
@@ -123,6 +139,7 @@ def run_flood_max(
         engine=engine,
         adversary=adversary,
         streaming_metrics=streaming_metrics,
+        vectorize=vectorize,
     )
     run = sim.run(max_rounds=max_rounds)
     return _summarise(run)
@@ -141,7 +158,7 @@ def _summarise(run) -> FloodMaxResult:
     )
 
 
-class RobustFloodMaxProgram(NodeProgram):
+class RobustFloodMaxProgram(VectorProgram, NodeProgram):
     """Retransmitting flood-max: broadcast until locally stable for ``patience``.
 
     The fixed-budget :class:`FloodMaxProgram` assumes reliable links: it
@@ -193,6 +210,28 @@ class RobustFloodMaxProgram(NodeProgram):
             return
         ctx.broadcast(best)
 
+    @classmethod
+    def vector_kernel(cls, programs, view: EngineView) -> MaxFloodKernel | None:
+        """Lower a homogeneous retransmitting flood-max run to the max-fold kernel.
+
+        Subclasses (:class:`~repro.core.robust_coding.RedundantFloodMaxProgram`,
+        :class:`~repro.core.robust_coding.CodedFloodMaxProgram`) change the wire
+        format and fold semantics, so lowering is pinned to this exact class —
+        subclasses must opt in with their own kernel or fall back to stepping.
+        """
+        if cls is not RobustFloodMaxProgram:
+            return None
+        patience = programs[0].patience
+        labels = view.labels
+        for i, program in enumerate(programs):
+            if (
+                program.patience != patience
+                or program.best != labels[i]
+                or program.stable != 0
+            ):
+                return None
+        return MaxFloodKernel(patience=patience)
+
 
 def robust_flood_max_round_bound(n: int, patience: int) -> int:
     """Worst-case round count of :class:`RobustFloodMaxProgram`.
@@ -213,6 +252,7 @@ def run_robust_flood_max(
     engine: str = "indexed",
     adversary: Adversary | None = None,
     max_rounds: int | None = None,
+    vectorize: bool = True,
 ) -> FloodMaxResult:
     """Run the retransmitting flood-max variant; terminates under any faults.
 
@@ -233,6 +273,7 @@ def run_robust_flood_max(
         seed=seed,
         engine=engine,
         adversary=adversary,
+        vectorize=vectorize,
     )
     return _summarise(sim.run(max_rounds=max_rounds))
 

@@ -57,6 +57,7 @@ from repro.distributed.models import (
 from repro.distributed.node import NodeContext
 from repro.distributed.program import Inbox, Node
 from repro.distributed.simulator import Simulator
+from repro.distributed.vectorize import EngineView, MaxFloodKernel
 from repro.graphs.graph import Graph, edge_key
 
 
@@ -152,6 +153,33 @@ class RedundantFloodMaxProgram(RobustFloodMaxProgram):
             return
         ctx.broadcast((best,) * copies)
 
+    @classmethod
+    def vector_kernel(cls, programs, view: EngineView) -> MaxFloodKernel | None:
+        """Lower a homogeneous repetition-coded flood to the max-fold kernel.
+
+        Sound without a transforming filter in the loop (which
+        :func:`repro.distributed.vectorize.try_lower` already rules out):
+        undamaged ``copies``-repetition frames always majority-decode to the
+        integer they were built from, so the decode step degenerates to the
+        identity and the fold is the same integer max — only the payload
+        *size* differs, which the kernel prices with the closed-form
+        :func:`repro.distributed.vectorize.repetition_frame_bits`.
+        """
+        if cls is not RedundantFloodMaxProgram:
+            return None
+        patience = programs[0].patience
+        copies = programs[0].copies
+        labels = view.labels
+        for i, program in enumerate(programs):
+            if (
+                program.patience != patience
+                or program.copies != copies
+                or program.best != labels[i]
+                or program.stable != 0
+            ):
+                return None
+        return MaxFloodKernel(patience=patience, copies=copies)
+
 
 class CodedFloodMaxProgram(RobustFloodMaxProgram):
     """Retransmitting flood-max over checksummed ``(value, checksum)`` frames.
@@ -227,6 +255,7 @@ def run_redundant_flood_max(
     engine: str = "indexed",
     adversary: Adversary | None = None,
     max_rounds: int | None = None,
+    vectorize: bool = True,
 ) -> FloodMaxResult:
     """Run the ``copies``-repetition coded flood-max (sound under corruption).
 
@@ -248,6 +277,7 @@ def run_redundant_flood_max(
         seed=seed,
         engine=engine,
         adversary=adversary,
+        vectorize=vectorize,
     )
     return _summarise(sim.run(max_rounds=max_rounds))
 

@@ -57,7 +57,8 @@ class NodeContext:
         "neighbors",
         "graph_neighbors",
         "n",
-        "rng",
+        "_rng",
+        "_rng_seed",
         "round",
         "halted",
         "output",
@@ -79,7 +80,7 @@ class NodeContext:
         node_id: Node,
         neighbors: frozenset[Node],
         n: int,
-        rng: random.Random,
+        rng: random.Random | int,
         graph_neighbors: frozenset[Node] | None = None,
         broadcast_only: bool = False,
         batch: bool = False,
@@ -90,7 +91,19 @@ class NodeContext:
         self.neighbors = neighbors
         self.graph_neighbors = neighbors if graph_neighbors is None else graph_neighbors
         self.n = n
-        self.rng = rng
+        # ``rng`` may be a ready random.Random or a bare seed.  A seed is
+        # materialised lazily on first ``ctx.rng`` access: a Mersenne
+        # Twister instance carries ~2.5 KB of state, so at E20 scale eagerly
+        # building one per vertex costs gigabytes of RSS and seconds of
+        # first-touch page faults that programs which never draw (the whole
+        # flood-max family) would pay for nothing.  The lazily built stream
+        # is bit-for-bit the eager one — same seed, same Random.
+        if isinstance(rng, random.Random):
+            self._rng: random.Random | None = rng
+            self._rng_seed = None
+        else:
+            self._rng = None
+            self._rng_seed = rng
         self.round = 0
         self.halted = False
         self.output: Any = None
@@ -113,6 +126,14 @@ class NodeContext:
         self._t_pays: list[Any] = []
         self._t_bpos = -1
         self._t_signal: list[bool] = [False]
+
+    @property
+    def rng(self) -> random.Random:
+        """The node's private randomness source (materialised on first use)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self._rng_seed)
+        return rng
 
     # ------------------------------------------------------------------ sends
     def send(self, dst: Node, payload: Any) -> None:

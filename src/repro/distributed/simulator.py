@@ -95,6 +95,7 @@ from repro.distributed.models import CommunicationModel, LocalModel, Model, Mode
 from repro.distributed.node import NO_BROADCAST, NodeContext
 from repro.distributed.program import NodeProgram
 from repro.distributed.targeted import build_targeted_collect
+from repro.distributed.vectorize import try_lower
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 
@@ -177,6 +178,16 @@ class Simulator:
         Fault decisions depend only on ``(round, src, dst)`` and the
         simulator seed, so the engine-parity contract extends to faulty
         runs: all engines agree bit-for-bit under the same adversary.
+    vectorize:
+        Whether the columnar engine may lower whole rounds to array
+        kernels (:mod:`repro.distributed.vectorize`) when every program
+        instance is the same opted-in
+        :class:`~repro.distributed.vectorize.VectorProgram` class and the
+        run admits it (non-transforming adversary, exact-``int`` labels).
+        Lowered runs are bit-for-bit identical to stepped runs; the knob
+        (default on) exists so benchmarks and the E23 physics twins can
+        force the stepped path.  ``lowered`` reports, after ``run()``,
+        whether lowering actually engaged.
     """
 
     __slots__ = (
@@ -188,6 +199,8 @@ class Simulator:
         "engine",
         "adversary",
         "streaming_metrics",
+        "vectorize",
+        "lowered",
         "topology",
     )
 
@@ -201,6 +214,7 @@ class Simulator:
         engine: str = "indexed",
         adversary: Adversary | None = None,
         streaming_metrics: bool = False,
+        vectorize: bool = True,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -212,6 +226,8 @@ class Simulator:
         self.engine = engine
         self.adversary = adversary
         self.streaming_metrics = streaming_metrics
+        self.vectorize = vectorize
+        self.lowered = False
         self.topology = self.model.communication_topology(graph)
 
     def _new_metrics(self) -> Metrics:
@@ -242,6 +258,7 @@ class Simulator:
         # construction and run() is observed identically by both engines
         # (freeze() is cached when the graph is unchanged).
         self.topology = self.model.communication_topology(self.graph)
+        self.lowered = False
         if self.engine == "reference":
             return self._run_reference(max_rounds, raise_on_limit)
         if self.engine == "batch":
@@ -347,7 +364,7 @@ class Simulator:
                 node_id=labels[i],
                 neighbors=topo.neighbor_label_set(i),
                 n=n,
-                rng=random.Random(node_seeds[i]),
+                rng=node_seeds[i],
                 graph_neighbors=graph_sets[i] if graph_sets is not None else None,
                 broadcast_only=broadcast_only,
                 batch=batch,
@@ -727,13 +744,27 @@ class Simulator:
         metrics = self._new_metrics()
         self.model.init_metrics(metrics)
         filt = self._bind_adversary(metrics)
-        collect = build_columnar_collect(
-            self, contexts, metrics, graph_sets, filt, tsignal
-        )
 
-        active = self._drive(
-            contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
+        # Program lowering (the E23 fast path): when every program is the
+        # same opted-in VectorProgram class and the run admits it, whole
+        # rounds execute as array kernels with zero per-node Python calls —
+        # bit-for-bit identical to the stepped path below.  ``lowered``
+        # records the decision for callers (benchmarks, the E23 twins).
+        lowered = (
+            try_lower(self, contexts, programs, metrics, graph_sets, filt)
+            if self.vectorize
+            else None
         )
+        self.lowered = lowered is not None
+        if lowered is not None:
+            active = lowered.execute(max_rounds, raise_on_limit)
+        else:
+            collect = build_columnar_collect(
+                self, contexts, metrics, graph_sets, filt, tsignal
+            )
+            active = self._drive(
+                contexts, programs, collect, metrics, max_rounds, raise_on_limit, filt
+            )
         outputs = {labels[i]: contexts[i].output for i in range(n)}
         return RunResult(outputs=outputs, metrics=metrics, completed=not active)
 
@@ -865,6 +896,7 @@ def run_program(
     engine: str = "indexed",
     adversary: Adversary | None = None,
     streaming_metrics: bool = False,
+    vectorize: bool = True,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
     sim = Simulator(
@@ -876,6 +908,7 @@ def run_program(
         engine=engine,
         adversary=adversary,
         streaming_metrics=streaming_metrics,
+        vectorize=vectorize,
     )
     return sim.run(max_rounds=max_rounds)
 

@@ -98,6 +98,7 @@ def load_all() -> None:
         defs_robustness,
         defs_spanner,
         defs_substrate,
+        defs_vectorized,
     )
 
     # Only after every import succeeded: a failed import must propagate again

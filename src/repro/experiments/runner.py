@@ -9,6 +9,13 @@ Execution contract:
   the spec hash — all repo algorithms take explicit seeds, but this makes
   even an accidental global-random user deterministic regardless of which
   worker runs which scenario in which order.
+* Graph builds are memoized per worker: scenarios sharing a graph-family
+  tuple (the E20/E23 engine and lowering twins) reuse one frozen
+  ``CompiledTopology`` keyed by the canonical family-spec hash instead of
+  regenerating a mega-scale graph per scenario (see
+  :func:`repro.experiments.families.build_graph` — only immutable frozen
+  graphs are cached, so reports stay byte-identical; the measured
+  sweep-time win is recorded in ``docs/performance.md``).
 * Results are merged back in spec order (never completion order), and every
   result dict is round-tripped through the flattener + JSON, so repeated
   runs — serial or parallel — produce byte-identical reports modulo the

@@ -327,6 +327,99 @@ def sparse_gnp_csr(
     return FrozenGraph(topo)
 
 
+def barabasi_albert_csr(
+    n: int, m: int, seed: int | random.Random | None = None
+) -> FrozenGraph:
+    """Preferential attachment built straight into CSR form, in O(n + m) time.
+
+    :func:`barabasi_albert_graph` stores the growing graph in a mutable
+    dict-of-dicts adjacency and samples targets with ``rng.choice`` over a
+    Python list — fine at demo sizes, but the intermediate adjacency and
+    per-edge dict entries dominate once n reaches the hundreds of thousands.
+    This generator keeps the classic repeated-endpoints trick (one uniform
+    index into the endpoint multiset is a degree-proportional draw) but
+    streams every sampled edge into flat ``array("q")`` buffers and scatters
+    them directly into :class:`~repro.graphs.topology.CompiledTopology` CSR
+    arrays, exactly like :func:`sparse_gnp_csr`: total work and peak memory
+    are O(n + m_attach) machine words, and the result is an immutable
+    :class:`~repro.graphs.topology.FrozenGraph`.
+
+    Same distribution as :func:`barabasi_albert_graph`, *not* the same graph
+    for a given seed (targets are drawn by index rather than ``choice`` and
+    deduplicated per node in sorted order) — treat it as its own scenario
+    family, as the E23 tier does.  The graph is always connected (the seed
+    clique on ``m + 1`` vertices plus one attachment batch per later
+    vertex), nodes are labelled ``0..n-1`` and every edge has weight 1.0.
+    The seeded-determinism contract of this module applies: the same
+    ``(n, m, seed)`` always yields byte-identical CSR arrays.
+    """
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = _rng(seed)
+    esrc = array("q")
+    edst = array("q")
+    # Endpoint multiset: each undirected edge contributes both endpoints, so
+    # a uniform index draw lands on vertex v with probability deg(v)/2E.
+    repeated = array("q")
+    # Seed clique on 0..m, streamed in lex (src, dst) order with dst < src —
+    # the order the scatter below relies on to leave CSR rows sorted.
+    for src in range(1, m + 1):
+        for dst in range(src):
+            esrc.append(src)
+            edst.append(dst)
+            repeated.append(src)
+            repeated.append(dst)
+    randrange = rng.randrange
+    repeated_append = repeated.append
+    esrc_append = esrc.append
+    edst_append = edst.append
+    for new in range(m + 1, n):
+        # Degree-proportional draws against the multiset as it stood before
+        # ``new`` arrived; set-dedup retries cost expected O(1) per edge.
+        targets: set[int] = set()
+        size = len(repeated)
+        while len(targets) < m:
+            targets.add(repeated[randrange(size)])
+        for t in sorted(targets):
+            esrc_append(new)
+            edst_append(t)
+            repeated_append(t)
+            repeated_append(new)
+
+    # Two-pass counting scatter into CSR (the sparse_gnp_csr recipe): edges
+    # arrive in lex (src, dst) order with dst < src, so scattering all the
+    # dst-into-row-src entries first and the src-into-row-dst entries second
+    # leaves every row sorted ascending with no sort pass.
+    degrees = array("q", [0]) * n
+    for k in range(len(esrc)):
+        degrees[esrc[k]] += 1
+        degrees[edst[k]] += 1
+
+    indptr = array("q", [0]) * (n + 1)
+    total = 0
+    for i in range(n):
+        indptr[i] = total
+        total += degrees[i]
+    indptr[n] = total
+
+    indices = array("q", [0]) * total
+    cursor = array("q", indptr[:n])
+    for k in range(len(esrc)):
+        v = esrc[k]
+        indices[cursor[v]] = edst[k]
+        cursor[v] += 1
+    for k in range(len(esrc)):
+        w = edst[k]
+        indices[cursor[w]] = esrc[k]
+        cursor[w] += 1
+
+    weights = array("d", [1.0]) * total
+    topo = CompiledTopology(
+        list(range(n)), indptr, indices, weights, len(esrc), directed=False
+    )
+    return FrozenGraph(topo)
+
+
 def connected_gnp_graph(
     n: int, p: float, seed: int | random.Random | None = None
 ) -> Graph:

@@ -32,8 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestRegistry:
-    def test_all_twenty_two_experiments_registered(self):
-        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 23)]
+    def test_all_twenty_three_experiments_registered(self):
+        assert experiment_ids() == [f"E{i:02d}" for i in range(1, 24)]
 
     def test_every_experiment_has_scenarios_and_columns(self):
         for identifier in experiment_ids():
@@ -335,7 +335,7 @@ class TestCLI:
         listing = json.loads(proc.stdout)
         assert listing["schema"] == SCHEMA
         by_id = {entry["id"]: entry for entry in listing["experiments"]}
-        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 23)]
+        assert sorted(by_id) == [f"E{i:02d}" for i in range(1, 24)]
         e19 = by_id["E19"]
         assert e19["scenario_count"] == len(e19["scenarios"]) == 9
         for scenario in e19["scenarios"]:

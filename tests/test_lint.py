@@ -209,6 +209,23 @@ class TestRuleFixtures:
         # ...but not in encoding.py itself, which implements the caches.
         assert lint(src, "src/repro/distributed/encoding.py") == []
 
+    def test_rep006_flags_estimate_bits_anywhere_in_vector_round(self):
+        # A straight-line call — no loop — still fires inside a lowered
+        # whole-round kernel: vector_round is the hottest path of all.
+        src = (
+            "from repro.distributed.encoding import estimate_bits\n"
+            "class Kernel:\n"
+            "    __slots__ = ('bits',)\n"
+            "    def vector_round(self, view):\n"
+            "        self.bits = estimate_bits(view)\n"
+        )
+        findings = lint(src, "src/repro/distributed/fixture.py")
+        assert [f.rule for f in findings] == ["REP006"]
+        assert "vector_round" in findings[0].message
+        # The same straight-line call outside vector_round stays legal.
+        legal = src.replace("def vector_round", "def measure_once")
+        assert lint(legal, "src/repro/distributed/fixture.py") == []
+
 
 class TestSuppression:
     BAD = FIXTURES["REP002"]["bad"]

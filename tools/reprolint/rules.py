@@ -343,7 +343,7 @@ class NumpyImportDisciplineRule(Rule):
 class HotPathDisciplineRule(Rule):
     """REP006 — ``distributed/`` hot-path discipline.
 
-    Two checks on the engine package, whose objects are instantiated per
+    Three checks on the engine package, whose objects are instantiated per
     node, per round or per message:
 
     * every class declares ``__slots__`` (instance dicts cost ~3x the
@@ -352,7 +352,11 @@ class HotPathDisciplineRule(Rule):
     * ``estimate_bits`` is never called inside a loop — per-message sizing
       must route through ``PayloadSizeTable``/``BitsMemo`` so a round costs
       one probe per distinct payload, not one recursive walk per message
-      (``encoding.py`` itself, which implements those caches, is exempt).
+      (``encoding.py`` itself, which implements those caches, is exempt);
+    * ``estimate_bits`` is never called anywhere inside a ``vector_round``
+      function — lowered whole-round kernels (E23) are the hottest path of
+      all and must size payloads through the closed forms
+      (``int_payload_bits`` / ``repetition_frame_bits``), loop or no loop.
     """
 
     code = "REP006"
@@ -376,15 +380,29 @@ class HotPathDisciplineRule(Rule):
                 not ctx.path.endswith("distributed/encoding.py")
                 and isinstance(node, ast.Call)
                 and _last_segment(node.func) == "estimate_bits"
-                and any(isinstance(a, self._LOOPS) for a in ancestors)
             ):
-                yield ctx.finding(
-                    self,
-                    node,
-                    "estimate_bits() called inside a loop; size payloads through "
-                    "a PayloadSizeTable (value-keyed, run-lifetime) or BitsMemo "
-                    "(identity-keyed, one delivery pass) instead",
-                )
+                if any(
+                    isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and a.name == "vector_round"
+                    for a in ancestors
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "estimate_bits() called inside a vector_round kernel; "
+                        "lowered whole-round kernels must size payloads with "
+                        "the closed forms (int_payload_bits / "
+                        "repetition_frame_bits) — estimate_bits is "
+                        "per-message work",
+                    )
+                elif any(isinstance(a, self._LOOPS) for a in ancestors):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "estimate_bits() called inside a loop; size payloads through "
+                        "a PayloadSizeTable (value-keyed, run-lifetime) or BitsMemo "
+                        "(identity-keyed, one delivery pass) instead",
+                    )
 
     def _check_class(self, ctx: FileContext, node: ast.ClassDef) -> Finding | None:
         if any(_last_segment(d) == "dataclass" for d in node.decorator_list):
